@@ -1,0 +1,72 @@
+"""E9 — Design-space characterisation of the container bindings (Section 3.4).
+
+"The saa2vga examples represent two different points of the design space.
+The first one (the FIFO implementation) provides maximum performance at the
+highest cost.  The SRAM implementation is much smaller, but performance will
+depend on memory access times."
+
+The bench sweeps buffer capacity for the FIFO and SRAM bindings, printing the
+area / access-time / power table the paper's characterisation step produces,
+and asserts the trade-off shape: FIFO fastest, SRAM cheapest in on-chip
+resources, both on the Pareto front at every capacity.
+"""
+
+import pytest
+
+from repro.synth import (
+    characterize_buffer_binding,
+    characterize_design_space,
+    format_table,
+    measure_stream_cycles_per_element,
+    pareto_front,
+)
+
+CAPACITIES = (64, 256, 512)
+
+
+def sweep():
+    return characterize_design_space(capacities=CAPACITIES,
+                                     bindings=("fifo", "sram"), elements=32)
+
+
+def test_design_space_characterization(benchmark):
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [point.row() for point in points]
+    print()
+    print(format_table(rows, title="Design-space characterisation "
+                                   "(read buffer, per binding and capacity)."))
+
+    by_key = {(p.binding, p.capacity): p for p in points}
+    for capacity in CAPACITIES:
+        fifo = by_key[("fifo", capacity)]
+        sram = by_key[("sram", capacity)]
+        # Maximum performance at the highest cost...
+        assert fifo.cycles_per_element < sram.cycles_per_element / 2
+        # ... versus much smaller on-chip storage cost.
+        assert sram.area.total.brams == 0
+        assert fifo.area.total.brams >= 1 or capacity * 8 < 2048
+        # Off-chip power cost shows up in the proxy.
+        assert sram.power_mw != fifo.power_mw
+
+    front = pareto_front(points)
+    labels = sorted(f"{p.binding}@{p.capacity}" for p in front)
+    print(f"pareto front (region of interest): {', '.join(labels)}")
+    for capacity in CAPACITIES:
+        bindings_on_front = {p.binding for p in front if p.capacity == capacity}
+        assert bindings_on_front == {"fifo", "sram"}
+
+
+@pytest.mark.parametrize("latency", [1, 2, 4, 8])
+def test_access_time_scaling_with_sram_latency(latency, benchmark):
+    """The characterisation captures how external memory speed limits throughput."""
+    cycles = benchmark.pedantic(
+        measure_stream_cycles_per_element, args=("sram",),
+        kwargs={"capacity": 64, "elements": 24,
+                "extra_params": {"sram_latency": latency}},
+        rounds=1, iterations=1)
+    print(f"\nsram latency {latency} cycles -> {cycles:.1f} cycles/element")
+    # Each element needs one SRAM write and one SRAM read plus handshake
+    # overhead, so the per-element cost must grow with the device latency.
+    assert cycles >= 2 * latency
+    baseline = measure_stream_cycles_per_element("fifo", capacity=64, elements=24)
+    assert cycles > baseline

@@ -1,0 +1,111 @@
+"""E8 — Pixel-format change scenarios of Section 3.3.
+
+"It would also be possible to modify the pixel data representation (from
+8-bit grayscale to 24-bit RGB, for example).  Here two different alternatives
+arise depending on the RAM data bus size: 1) For a 24-bit data bus, we should
+only regenerate the implementations of the elements using the 24-bit data
+pixel as the base type.  2) For an 8-bit data bus, we should also modify the
+iterator code to perform three consecutive container reads/writes to get/set
+the whole pixel."
+
+The bench runs both alternatives in simulation (bit-exact output required),
+measures the throughput cost of the narrow-bus alternative, and checks the
+code generator's width-adaptation plan (3 beats per pixel, beat counter in
+the generated VHDL).
+"""
+
+from repro.core import CopyAlgorithm, make_container, make_iterator
+from repro.metagen import (
+    CodeGenerator,
+    GenerationConfig,
+    WidthDownConverter,
+    WidthUpConverter,
+)
+from repro.rtl import Component, Simulator
+from repro.testing import stream_feed_and_drain
+from repro.video import RGB24, flatten, gray_to_rgb24, random_frame
+
+GRAY_FRAME = random_frame(16, 6, seed=55)
+RGB_PIXELS = [gray_to_rgb24(p) for p in flatten(GRAY_FRAME)]
+
+
+def run_wide_bus():
+    """Alternative 1: regenerate the pipeline with a 24-bit base type."""
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=24, capacity=32))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=24, capacity=32))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    top.child(CopyAlgorithm("copy", rit, wit))
+    sim = Simulator(top)
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, RGB_PIXELS)
+    return received, sim.cycles
+
+
+def run_narrow_bus():
+    """Alternative 2: keep the 8-bit pipeline, adapt 24-bit pixels at the edges."""
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8, capacity=32))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=32))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    top.child(CopyAlgorithm("copy", rit, wit))
+    down = top.child(WidthDownConverter("down", element_width=24, bus_width=8))
+    up = top.child(WidthUpConverter("up", element_width=24, bus_width=8))
+
+    @top.comb
+    def connect():
+        rb.fill.data.next = down.narrow_out.data.value
+        transfer_in = down.narrow_out.valid.value and rb.fill.ready.value
+        rb.fill.push.next = 1 if transfer_in else 0
+        down.narrow_out.pop.next = 1 if transfer_in else 0
+        up.narrow_in.data.next = wb.drain.data.value
+        transfer_out = wb.drain.valid.value and up.narrow_in.ready.value
+        up.narrow_in.push.next = 1 if transfer_out else 0
+        wb.drain.pop.next = 1 if transfer_out else 0
+
+    sim = Simulator(top)
+    received = stream_feed_and_drain(sim, down.wide_in, up.wide_out, RGB_PIXELS,
+                                     max_cycles=400_000)
+    return received, sim.cycles
+
+
+def test_alternative1_wide_bus(benchmark):
+    received, cycles = benchmark.pedantic(run_wide_bus, rounds=1, iterations=1)
+    assert received == RGB_PIXELS
+    print(f"\n24-bit bus: {cycles} cycles for {len(RGB_PIXELS)} RGB pixels "
+          f"({cycles / len(RGB_PIXELS):.2f} cycles/pixel)")
+    assert cycles / len(RGB_PIXELS) < 2.0
+
+
+def test_alternative2_narrow_bus(benchmark):
+    received, cycles = benchmark.pedantic(run_narrow_bus, rounds=1, iterations=1)
+    assert received == RGB_PIXELS
+    print(f"\n8-bit bus:  {cycles} cycles for {len(RGB_PIXELS)} RGB pixels "
+          f"({cycles / len(RGB_PIXELS):.2f} cycles/pixel)")
+    # Three consecutive transfers per pixel: at least ~3x the wide-bus cost.
+    _wide, wide_cycles = run_wide_bus()
+    assert cycles >= 2.5 * wide_cycles
+    assert cycles <= 8 * wide_cycles
+
+
+def test_code_generator_covers_both_alternatives(benchmark):
+    """'All this scenarios can be considered by the automatic code generator.'"""
+    generator = CodeGenerator()
+
+    def generate_both():
+        wide = generator.generate_container("read_buffer", GenerationConfig(
+            name="rbuffer_rgb24", data_width=24, binding="fifo",
+            used_operations=frozenset({"empty", "pop"})))
+        narrow = generator.generate_container("read_buffer", GenerationConfig(
+            name="rbuffer_rgb24_over8", data_width=24, bus_width=8, binding="sram",
+            used_operations=frozenset({"empty", "pop"})))
+        return wide, narrow
+
+    wide, narrow = benchmark(generate_both)
+    assert wide.width_plan.beats == 1
+    assert narrow.width_plan.beats == 3
+    assert "std_logic_vector(23 downto 0)" in wide.emit()
+    assert "width adaptation" in narrow.emit()
+    assert "beat_count" in narrow.emit()
+    assert RGB24.width // 8 == narrow.width_plan.beats

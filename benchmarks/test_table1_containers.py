@@ -1,0 +1,69 @@
+"""E1 — Reproduce Table 1: "Common containers".
+
+Regenerates the container classification table (access kind x traversal
+direction) from the live registry of the library and checks it cell-by-cell
+against the paper.  The benchmark times registry introspection plus one
+instantiation of every (kind, binding) pair — the cost of "selecting the
+proper implementation of a container" late, which the paper's methodology
+relies on being cheap.
+"""
+
+from repro.core import (
+    CONTAINER_KINDS,
+    bindings_for,
+    classification_table,
+    container_kinds,
+    make_container,
+)
+from repro.synth import format_table
+
+#: Table 1 of the paper, verbatim (container, random in/out, sequential in/out).
+PAPER_TABLE1 = {
+    "stack": ("-", "-", "F", "B"),
+    "queue": ("-", "-", "F", "F"),
+    "read buffer": ("-", "-", "F", "-"),
+    "write buffer": ("-", "-", "-", "F"),
+    "vector": ("yes", "yes", "F, B", "F, B"),
+    "assoc array": ("yes", "yes", "-", "-"),
+}
+
+CONSTRUCTOR_PARAMS = {
+    ("read_buffer", "linebuffer3"): {"width": 8, "line_width": 64},
+    ("assoc_array", "cam"): {"key_width": 8, "value_width": 8, "capacity": 8},
+}
+
+
+def instantiate_every_binding():
+    """Build one instance of every registered (kind, binding) pair."""
+    instances = []
+    for kind in container_kinds():
+        for binding in bindings_for(kind):
+            params = CONSTRUCTOR_PARAMS.get((kind, binding),
+                                            {"width": 8, "capacity": 64})
+            instances.append(make_container(kind, binding,
+                                            f"{kind}_{binding}", **params))
+    return instances
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(classification_table)
+    print()
+    print(format_table(rows, title="Table 1. Common containers (reproduced)."))
+
+    assert len(rows) == len(PAPER_TABLE1)
+    for row in rows:
+        expected = PAPER_TABLE1[row["container"]]
+        actual = (row["random_input"], row["random_output"],
+                  row["seq_input"], row["seq_output"])
+        assert actual == expected, f"{row['container']}: {actual} != {expected}"
+
+
+def test_table1_every_binding_instantiates(benchmark):
+    instances = benchmark(instantiate_every_binding)
+    # Every abstract kind has at least one physical binding, and the factory
+    # returns components of the advertised kind.
+    kinds_covered = {type(instance).kind for instance in instances}
+    assert kinds_covered == set(CONTAINER_KINDS)
+    assert len(instances) >= 12
+    print(f"\ninstantiated {len(instances)} concrete container bindings: "
+          + ", ".join(sorted(f"{i.kind}/{i.binding}" for i in instances)))

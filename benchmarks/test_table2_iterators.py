@@ -1,0 +1,66 @@
+"""E2 — Reproduce Table 2: "Iterator Operations".
+
+Prints the operation table (operation, meaning, applicability) verbatim from
+the library's descriptors and cross-checks every registered concrete iterator
+against it: an iterator may only implement operations whose applicability
+covers its traversal class, and every operation is implemented by at least
+one iterator.
+"""
+
+from repro.core import (
+    ITERATOR_OPERATIONS,
+    ITERATOR_REGISTRY,
+    IteratorOp,
+    iterator_catalog,
+)
+from repro.synth import format_table
+
+#: Table 2 of the paper, verbatim.
+PAPER_TABLE2 = {
+    "inc": ("move forward", "F / F, B"),
+    "dec": ("move backwards", "B / F, B"),
+    "read": ("get the element", "random / F, B"),
+    "write": ("put the element", "random / F, B"),
+    "index": ("set the current position", "random"),
+}
+
+
+def build_table2_rows():
+    return [{"Operation": d.op.value, "Meaning": d.meaning,
+             "Applicability": d.applicability} for d in ITERATOR_OPERATIONS]
+
+
+def test_table2_reproduction(benchmark):
+    rows = benchmark(build_table2_rows)
+    print()
+    print(format_table(rows, title="Table 2. Iterator Operations (reproduced)."))
+    assert len(rows) == len(PAPER_TABLE2)
+    for row in rows:
+        meaning, applicability = PAPER_TABLE2[row["Operation"]]
+        assert row["Meaning"] == meaning
+        assert row["Applicability"] == applicability
+
+
+def test_table2_consistency_with_registered_iterators(benchmark):
+    catalog = benchmark(iterator_catalog)
+    print()
+    print(format_table(catalog, title="Registered concrete iterators."))
+
+    # Rule checks derived from Table 2.
+    implemented_ops = set()
+    for key, cls in ITERATOR_REGISTRY.items():
+        ops = cls.supported_ops()
+        implemented_ops |= ops
+        traversal = cls.traversal
+        if IteratorOp.INDEX in ops:
+            assert traversal == "random", f"{cls.__name__}: index is random-only"
+        if traversal == "forward":
+            assert IteratorOp.DEC not in ops, f"{cls.__name__}: forward has no dec"
+        if traversal == "backward":
+            assert IteratorOp.INC not in ops, f"{cls.__name__}: backward has no inc"
+        assert (IteratorOp.READ in ops) == cls.readable
+        assert (IteratorOp.WRITE in ops) == cls.writable
+
+    # Every Table 2 operation is realised by at least one concrete iterator.
+    assert implemented_ops == {IteratorOp.INC, IteratorOp.DEC, IteratorOp.READ,
+                               IteratorOp.WRITE, IteratorOp.INDEX}

@@ -1,0 +1,94 @@
+"""Performance bench — streaming throughput of every evaluated design.
+
+Complements Table 3 (which reports area and clock) with the cycle-accurate
+throughput of each design/binding, confirming two statements of the paper:
+
+* the copy and blur pipelines sustain about one pixel per clock cycle over
+  on-chip bindings ("ideally a new filtered pixel can be generated at each
+  clock cycle");
+* the SRAM binding trades that throughput for cost ("performance will depend
+  on memory access times").
+
+It also reports simulator wall-clock performance (cycles simulated per
+second) so regressions in the RTL kernel itself are visible.
+"""
+
+import pytest
+
+from repro.designs import (
+    BlurCustomDesign,
+    Saa2VgaCustomFIFO,
+    Saa2VgaCustomSRAM,
+    build_blur_pattern,
+    build_saa2vga_pattern,
+    run_stream_through,
+)
+from repro.video import flatten, golden_blur3x3, random_frame
+
+FRAME = random_frame(24, 12, seed=500)
+PIXELS = flatten(FRAME)
+BLUR_GOLDEN = flatten(golden_blur3x3(FRAME))
+
+VARIANTS = {
+    "saa2vga pattern/fifo": (lambda: build_saa2vga_pattern("fifo", capacity=32),
+                             PIXELS),
+    "saa2vga custom/fifo": (lambda: Saa2VgaCustomFIFO(capacity=32), PIXELS),
+    "saa2vga pattern/sram": (lambda: build_saa2vga_pattern("sram", capacity=32),
+                             PIXELS),
+    "saa2vga custom/sram": (lambda: Saa2VgaCustomSRAM(capacity=32), PIXELS),
+    "blur pattern": (lambda: build_blur_pattern(line_width=24, out_capacity=32),
+                     BLUR_GOLDEN),
+    "blur custom": (lambda: BlurCustomDesign(line_width=24, out_capacity=32),
+                    BLUR_GOLDEN),
+}
+
+
+@pytest.mark.parametrize("label", list(VARIANTS))
+def test_streaming_throughput(label, benchmark):
+    factory, expected = VARIANTS[label]
+
+    def run():
+        return run_stream_through(factory(), FRAME, expected_outputs=len(expected))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["pixels"] == expected
+    throughput = result["outputs"] / result["cycles"]
+    print(f"\n{label}: {result['cycles']} cycles, "
+          f"{result['outputs']} output pixels, "
+          f"{throughput:.3f} pixels/cycle")
+
+    if "sram" in label:
+        assert throughput < 0.2, "SRAM binding is memory-bound by construction"
+    elif "blur" in label:
+        assert throughput > 0.5
+    else:
+        assert throughput > 0.8
+
+
+def test_pattern_throughput_equals_custom_throughput(benchmark):
+    """The pattern adds no cycle-level overhead either."""
+    def run_pair(binding):
+        if binding == "fifo":
+            pattern = build_saa2vga_pattern("fifo", capacity=32)
+            custom = Saa2VgaCustomFIFO(capacity=32)
+        else:
+            pattern = build_saa2vga_pattern("sram", capacity=32)
+            custom = Saa2VgaCustomSRAM(capacity=32)
+        p = run_stream_through(pattern, FRAME)["cycles"]
+        c = run_stream_through(custom, FRAME)["cycles"]
+        return p, c
+
+    results = benchmark.pedantic(lambda: [run_pair("fifo"), run_pair("sram")],
+                                 rounds=1, iterations=1)
+    for pattern_cycles, custom_cycles in results:
+        assert abs(pattern_cycles - custom_cycles) <= max(4, 0.05 * custom_cycles)
+
+
+def test_simulation_kernel_speed(benchmark):
+    """Wall-clock speed of the RTL kernel on the FIFO copy pipeline."""
+
+    def run():
+        return run_stream_through(build_saa2vga_pattern("fifo", capacity=32), FRAME)
+
+    result = benchmark(run)
+    assert result["outputs"] == len(PIXELS)

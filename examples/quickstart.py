@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build a tiny pattern-based pipeline and run it.
+
+The example follows the paper's recipe end to end in a few lines:
+
+1. pick containers from the basic component library and a *binding* (the
+   physical device they are implemented over);
+2. attach iterators — the only view algorithms ever get of a container;
+3. instantiate a generic algorithm (here: the stream copy);
+4. simulate, and estimate FPGA resources for the elaborated design.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import CopyAlgorithm, make_container, make_iterator
+from repro.rtl import Component, Simulator
+from repro.synth import estimate_design
+from repro.testing import stream_feed_and_drain
+
+
+def build_pipeline(binding: str) -> Component:
+    """read_buffer --(iterator)--> copy --(iterator)--> write_buffer."""
+    top = Component(f"quickstart_{binding}")
+
+    # 1. Containers: what the data lives in (the binding decides the device).
+    rbuffer = top.child(make_container("read_buffer", binding, "rbuffer",
+                                       width=8, capacity=16))
+    wbuffer = top.child(make_container("write_buffer", binding, "wbuffer",
+                                       width=8, capacity=16))
+
+    # 2. Iterators: how algorithms traverse the containers (Table 2 interface).
+    rbuffer_it = top.child(make_iterator(rbuffer, "forward", readable=True,
+                                         name="rbuffer_it"))
+    wbuffer_it = top.child(make_iterator(wbuffer, "forward", writable=True,
+                                         name="wbuffer_it"))
+
+    # 3. The algorithm only ever sees the iterators.
+    top.child(CopyAlgorithm("copy", rbuffer_it, wbuffer_it))
+
+    # Expose the environment-facing interfaces for the test bench.
+    top.input_fill = rbuffer.fill
+    top.output_drain = wbuffer.drain
+    return top
+
+
+def main() -> None:
+    data = list(range(32))
+    for binding in ("fifo", "sram"):
+        top = build_pipeline(binding)
+        sim = Simulator(top)
+
+        # 4a. Simulate: feed a burst of elements in, collect what comes out.
+        received = stream_feed_and_drain(sim, top.input_fill, top.output_drain,
+                                         data)
+        assert received == data, "the copy must be bit-exact"
+
+        # 4b. Estimate FPGA resources for the very same elaborated model.
+        report = estimate_design(top)
+        row = report.row()
+        print(f"[{binding:4s}] copied {len(received)} elements in {sim.cycles} "
+              f"cycles ({len(received) / sim.cycles:.2f} elems/cycle) | "
+              f"estimate: {row['FFs']} FFs, {row['LUTs']} LUTs, "
+              f"{row['blockRAM']} BRAM, {row['clk_MHz']:.0f} MHz")
+
+    print("\nSame model, two bindings: only the container implementation "
+          "changed; the algorithm and iterators were reused untouched.")
+
+
+if __name__ == "__main__":
+    main()

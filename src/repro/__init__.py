@@ -1,0 +1,37 @@
+"""repro: reproduction of "Model Reuse through Hardware Design Patterns" (DATE 2005).
+
+Subpackages
+-----------
+``repro.rtl``
+    Pure-Python RTL modelling and cycle-accurate simulation kernel (the VHDL
+    substitute).
+``repro.primitives``
+    Behavioural models of the physical devices of the XSB-300E target
+    (FIFO/LIFO cores, block RAM, external SRAM, 3-line buffer, arbiters).
+``repro.core``
+    The paper's contribution: the hardware Iterator pattern — containers,
+    iterators and algorithms of the basic component library.
+``repro.metagen``
+    Metamodels and the VHDL code generator (operation pruning, width
+    adaptation, arbitration, protocol selection).
+``repro.synth``
+    Resource estimation in Table-3 units (FFs/LUTs/block RAM/MHz) plus the
+    design-space characterisation of Section 3.4.
+``repro.video``
+    Synthetic video stream source/sink and golden image models.
+``repro.designs``
+    The evaluated designs (saa2vga FIFO/SRAM, blur) in pattern-based and
+    hand-written form, plus the full-system simulation harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rtl",
+    "primitives",
+    "core",
+    "metagen",
+    "synth",
+    "video",
+    "designs",
+]

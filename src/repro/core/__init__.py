@@ -1,0 +1,136 @@
+"""The paper's primary contribution: the hardware Iterator pattern library.
+
+Organised, as Section 3.2 prescribes, around three kinds of concepts:
+
+* **containers** — collections of elements implemented over a choice of
+  physical structures (:mod:`repro.core.containers`);
+* **iterators** — the behavioural design pattern giving algorithms a uniform
+  way to traverse containers without exposing their implementation
+  (:mod:`repro.core.iterators`);
+* **algorithms** — generic data-manipulation components written only against
+  iterator interfaces (:mod:`repro.core.algorithms`).
+
+Importing :mod:`repro.core` registers every container kind, binding and
+iterator, so the factory functions (:func:`make_container`,
+:func:`make_iterator`) are ready to use.
+"""
+
+from .container import (
+    CONTAINER_BINDINGS,
+    CONTAINER_KINDS,
+    Container,
+    ContainerError,
+    bindings_for,
+    classification_table,
+    container_kinds,
+    lookup_binding,
+    make_container,
+)
+from .interfaces import (
+    ITERATOR_OPERATIONS,
+    Access,
+    AssocIface,
+    IteratorIface,
+    IteratorOp,
+    OpDescriptor,
+    RandomIface,
+    StreamSinkIface,
+    StreamSourceIface,
+    Traversal,
+    WindowIteratorIface,
+    WindowSourceIface,
+    format_traversals,
+)
+from .iterator import (
+    ITERATOR_REGISTRY,
+    HardwareIterator,
+    IteratorError,
+    iterator_catalog,
+    iterators_for,
+    make_iterator,
+)
+
+# Importing the sub-packages populates the registries.
+from . import containers as containers  # noqa: F401
+from . import iterators as iterators  # noqa: F401
+from . import algorithms as algorithms  # noqa: F401
+
+from .algorithms import (
+    EDGE_KERNEL,
+    IDENTITY_KERNEL,
+    SHARPEN_KERNEL,
+    SMOOTH_KERNEL,
+    Algorithm,
+    BlurAlgorithm,
+    Conv3x3Algorithm,
+    Kernel3x3,
+    golden_convolve3x3,
+    CopyAlgorithm,
+    FillAlgorithm,
+    FindAlgorithm,
+    GenericCopyAlgorithm,
+    HistogramAlgorithm,
+    ReduceAlgorithm,
+    TransformAlgorithm,
+    blur_kernel,
+    gain,
+    golden_histogram,
+    invert,
+    threshold,
+)
+
+__all__ = [
+    # container machinery
+    "Container",
+    "ContainerError",
+    "CONTAINER_KINDS",
+    "CONTAINER_BINDINGS",
+    "container_kinds",
+    "bindings_for",
+    "lookup_binding",
+    "make_container",
+    "classification_table",
+    # interfaces
+    "Access",
+    "Traversal",
+    "IteratorOp",
+    "OpDescriptor",
+    "ITERATOR_OPERATIONS",
+    "format_traversals",
+    "StreamSourceIface",
+    "StreamSinkIface",
+    "WindowSourceIface",
+    "RandomIface",
+    "AssocIface",
+    "IteratorIface",
+    "WindowIteratorIface",
+    # iterator machinery
+    "HardwareIterator",
+    "IteratorError",
+    "ITERATOR_REGISTRY",
+    "make_iterator",
+    "iterators_for",
+    "iterator_catalog",
+    # algorithms
+    "Algorithm",
+    "CopyAlgorithm",
+    "GenericCopyAlgorithm",
+    "HistogramAlgorithm",
+    "golden_histogram",
+    "TransformAlgorithm",
+    "BlurAlgorithm",
+    "blur_kernel",
+    "Conv3x3Algorithm",
+    "Kernel3x3",
+    "golden_convolve3x3",
+    "IDENTITY_KERNEL",
+    "SMOOTH_KERNEL",
+    "SHARPEN_KERNEL",
+    "EDGE_KERNEL",
+    "FillAlgorithm",
+    "FindAlgorithm",
+    "ReduceAlgorithm",
+    "invert",
+    "threshold",
+    "gain",
+]

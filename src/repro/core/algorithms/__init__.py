@@ -1,0 +1,49 @@
+"""Algorithm components of the basic component library (Section 3.2.3).
+
+Every algorithm here is written exclusively against iterator interfaces, so
+the same component instance works unchanged over any container binding — the
+model-reuse property the paper demonstrates with the copy and blur examples.
+"""
+
+from .base import Algorithm
+from .blur import BlurAlgorithm, blur_kernel
+from .convolution import (
+    EDGE_KERNEL,
+    IDENTITY_KERNEL,
+    SHARPEN_KERNEL,
+    SMOOTH_KERNEL,
+    Conv3x3Algorithm,
+    Kernel3x3,
+    golden_convolve3x3,
+)
+from .copy import CopyAlgorithm
+from .fill import FillAlgorithm
+from .find import FindAlgorithm
+from .generic_copy import GenericCopyAlgorithm
+from .histogram import HistogramAlgorithm, golden_histogram
+from .reduce import ReduceAlgorithm
+from .transform import TransformAlgorithm, gain, invert, threshold
+
+__all__ = [
+    "Algorithm",
+    "CopyAlgorithm",
+    "GenericCopyAlgorithm",
+    "HistogramAlgorithm",
+    "golden_histogram",
+    "TransformAlgorithm",
+    "BlurAlgorithm",
+    "blur_kernel",
+    "Conv3x3Algorithm",
+    "Kernel3x3",
+    "golden_convolve3x3",
+    "IDENTITY_KERNEL",
+    "SMOOTH_KERNEL",
+    "SHARPEN_KERNEL",
+    "EDGE_KERNEL",
+    "FillAlgorithm",
+    "FindAlgorithm",
+    "ReduceAlgorithm",
+    "invert",
+    "threshold",
+    "gain",
+]

@@ -1,0 +1,72 @@
+"""Common machinery for the algorithm components of the library.
+
+Algorithms (Section 3.2.3) "use the interface provided by iterators to access
+data in the containers.  This would guarantee reusability of the algorithm,
+despite of the container chosen for a certain implementation."  Every
+algorithm component therefore receives already-constructed iterators and is
+forbidden (by convention and by the tests) from touching container or device
+ports directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..interfaces import IteratorIface
+from ...rtl import Component, Signal
+
+
+class Algorithm(Component):
+    """Base class for algorithm components.
+
+    Provides the bookkeeping every algorithm shares: an element counter, an
+    optional element budget and a ``finished`` flag.  Subclasses implement
+    the actual data movement in their own processes.
+    """
+
+    def __init__(self, name: str, max_count: Optional[int] = None,
+                 counter_width: int = 32) -> None:
+        super().__init__(name)
+        self.max_count = max_count
+        #: Number of elements processed so far.
+        self.count: Signal = self.state(counter_width, name=f"{name}_count")
+        #: Latched high once ``max_count`` elements have been processed.
+        self.finished: Signal = self.state(1, name=f"{name}_finished")
+
+    # -- helpers used by subclasses inside their sequential processes ----------------
+
+    def _account(self, processed: int = 1) -> None:
+        """Record ``processed`` elements and update the ``finished`` flag."""
+        new_count = self.count.value + processed
+        self.count.next = new_count
+        if self.max_count is not None and new_count >= self.max_count:
+            self.finished.next = 1
+
+    def _budget_open(self) -> bool:
+        """True while more elements may be processed."""
+        if self.finished.value:
+            return False
+        if self.max_count is None:
+            return True
+        return self.count.value < self.max_count
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def elements_processed(self) -> int:
+        """The committed element count."""
+        return self.count.value
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the element budget has been exhausted."""
+        return bool(self.finished.value)
+
+    @staticmethod
+    def _check_iterator(iface: IteratorIface, *, needs_read: bool = False,
+                        needs_write: bool = False, role: str = "iterator") -> None:
+        """Sanity-check that an iterator interface offers the needed signals."""
+        if needs_read and "rdata" not in iface:
+            raise TypeError(f"{role} does not expose read data")
+        if needs_write and "wdata" not in iface:
+            raise TypeError(f"{role} does not expose write data")

@@ -1,0 +1,65 @@
+"""The stream copy algorithm.
+
+This is the algorithm of the motivating example: "copying data from the
+input buffer to the output buffer ... The copy algorithm is almost trivial:
+an endless loop that sequences read and write operations and iterator
+forwarding for both containers.  All these operations can be performed in
+parallel in a hardware implementation."
+
+The implementation is exactly that parallel loop: in every cycle where the
+input iterator can deliver an element and the output iterator can accept one,
+the element is read, written and both iterators advance — one element per
+cycle when both bindings allow it (the FIFO case), throttled automatically by
+``can_read``/``can_write`` otherwise (the SRAM case).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..iterator import HardwareIterator
+from .base import Algorithm
+
+
+class CopyAlgorithm(Algorithm):
+    """Copy elements from an input iterator to an output iterator.
+
+    Parameters
+    ----------
+    in_it, out_it:
+        The input and output iterators.  Only their canonical interfaces are
+        used, so any sequential container binding works unchanged.
+    max_count:
+        Optional number of elements after which the algorithm stops
+        (``finished`` goes high).  ``None`` reproduces the paper's endless
+        loop.
+    """
+
+    def __init__(self, name: str, in_it: HardwareIterator, out_it: HardwareIterator,
+                 max_count: Optional[int] = None) -> None:
+        super().__init__(name, max_count=max_count)
+        self.in_it = in_it
+        self.out_it = out_it
+        src = in_it.iface
+        dst = out_it.iface
+        self._check_iterator(src, needs_read=True, role="input iterator")
+        self._check_iterator(dst, needs_write=True, role="output iterator")
+
+        @self.comb
+        def datapath() -> None:
+            transfer = (src.can_read.value and dst.can_write.value
+                        and self._budget_open())
+            strobe = 1 if transfer else 0
+            # Read + advance on the input side, write + advance on the output
+            # side, all in the same cycle ("performed in parallel").
+            src.read.next = strobe
+            src.inc.next = strobe
+            dst.write.next = strobe
+            dst.inc.next = strobe
+            dst.wdata.next = src.rdata.value
+
+        @self.seq
+        def account() -> None:
+            if (src.can_read.value and dst.can_write.value
+                    and self._budget_open()):
+                self._account(1)

@@ -1,0 +1,75 @@
+"""Fill (generate) algorithm over an output iterator.
+
+Writes a generated sequence of elements — a constant, a ramp, or any Python
+function of the element index — through an output iterator.  It is the
+library's equivalent of ``std::fill``/``std::generate`` and doubles as the
+stimulus generator for vector-container tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..iterator import HardwareIterator
+from .base import Algorithm
+from ...rtl import FSM
+
+GeneratorFunction = Callable[[int], int]
+
+
+class FillAlgorithm(Algorithm):
+    """Write ``max_count`` generated elements through an output iterator.
+
+    The algorithm uses the done-based protocol, so it works with multi-cycle
+    output iterators (vectors over block RAM or SRAM) as well as stream
+    iterators.
+
+    Parameters
+    ----------
+    out_it:
+        Any writable iterator.
+    max_count:
+        Number of elements to write.
+    func:
+        ``index -> value`` generator; defaults to the identity ramp.
+    """
+
+    def __init__(self, name: str, out_it: HardwareIterator, max_count: int,
+                 func: Optional[GeneratorFunction] = None) -> None:
+        if max_count < 1:
+            raise ValueError("FillAlgorithm needs a positive max_count")
+        super().__init__(name, max_count=max_count)
+        self.out_it = out_it
+        self.func: GeneratorFunction = func or (lambda index: index)
+        dst = out_it.iface
+        self._check_iterator(dst, needs_write=True, role="output iterator")
+
+        self._fsm = FSM(self, ["WRITE", "WAIT", "DONE"], name=f"{name}_ctrl")
+
+        @self.comb
+        def strobes() -> None:
+            fsm = self._fsm
+            issuing = fsm.is_in("WRITE") and dst.can_write.value and self._budget_open()
+            pending = fsm.is_in("WAIT")
+            strobe = 1 if (issuing or pending) else 0
+            dst.write.next = strobe
+            dst.inc.next = strobe
+            dst.wdata.next = self.func(self.count.value)
+
+        @self.seq
+        def control() -> None:
+            fsm = self._fsm
+            if fsm.is_in("WRITE"):
+                if not self._budget_open():
+                    fsm.goto("DONE")
+                elif dst.can_write.value:
+                    if dst.done.value:
+                        self._account(1)
+                    else:
+                        fsm.goto("WAIT")
+            elif fsm.is_in("WAIT"):
+                if dst.done.value:
+                    self._account(1)
+                    fsm.goto("WRITE")
+            elif fsm.is_in("DONE"):
+                fsm.stay()

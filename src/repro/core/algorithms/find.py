@@ -1,0 +1,61 @@
+"""Find (search) algorithm over an input iterator.
+
+The hardware counterpart of ``std::find``: scan elements delivered by an
+input iterator until one matches the target value, then report the element's
+ordinal position.  Used in the examples to show that a completely different
+algorithm reuses the same iterators and containers untouched.
+"""
+
+from __future__ import annotations
+
+from ..iterator import HardwareIterator
+from .base import Algorithm
+from ...rtl import Signal
+
+
+class FindAlgorithm(Algorithm):
+    """Search for ``target`` among the first ``max_count`` elements.
+
+    Outputs
+    -------
+    found:
+        Latched high when the target value is seen.
+    found_index:
+        Ordinal position (0-based) of the first match.
+    finished:
+        High once the search ends, either on a match or after ``max_count``
+        elements have been examined.
+    """
+
+    def __init__(self, name: str, in_it: HardwareIterator, target: int,
+                 max_count: int, index_width: int = 32) -> None:
+        if max_count < 1:
+            raise ValueError("FindAlgorithm needs a positive max_count")
+        super().__init__(name, max_count=max_count)
+        self.in_it = in_it
+        self.target = target
+        src = in_it.iface
+        self._check_iterator(src, needs_read=True, role="input iterator")
+
+        self.found: Signal = self.state(1, name=f"{name}_found")
+        self.found_index: Signal = self.state(index_width, name=f"{name}_found_index")
+
+        @self.comb
+        def strobes() -> None:
+            scanning = (src.can_read.value and self._budget_open()
+                        and not self.found.value)
+            strobe = 1 if scanning else 0
+            src.read.next = strobe
+            src.inc.next = strobe
+
+        @self.seq
+        def scan() -> None:
+            if self.found.value or not self._budget_open():
+                return
+            if not src.can_read.value:
+                return
+            if src.rdata.value == self.target:
+                self.found.next = 1
+                self.found_index.next = self.count.value
+                self.finished.next = 1
+            self._account(1)

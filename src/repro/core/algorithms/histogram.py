@@ -1,0 +1,139 @@
+"""Histogram algorithm: stream statistics accumulated into a vector container.
+
+A staple of the "specific application domains such as video image processing"
+the paper's conclusions call for: every element read from an input iterator
+increments one bin of a histogram.  The bins live in an ordinary vector
+container and are accessed exclusively through a random iterator, so the same
+algorithm runs over block-RAM, register-file or external-SRAM bin storage —
+another instance of the decoupling the pattern provides.
+
+The per-element update is a read-modify-write sequence on the bin vector
+(``index`` to the bin, ``read``, then ``write`` of the incremented count),
+driven by a small FSM using the done-based iterator protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..iterator import HardwareIterator
+from .base import Algorithm
+from ...rtl import FSM
+
+
+class HistogramAlgorithm(Algorithm):
+    """Accumulate a histogram of the input stream into a vector of bins.
+
+    Parameters
+    ----------
+    in_it:
+        Readable stream iterator delivering the samples (e.g. pixels).
+    bin_it:
+        A *random* iterator (index/read/write) over the bin vector.
+    num_bins:
+        Number of bins; samples are mapped to bins by dropping low-order
+        sample bits (``bin = sample >> shift``), the usual hardware binning.
+    sample_width:
+        Width in bits of the input samples.
+    max_count:
+        Number of samples to consume before raising ``finished``.
+    """
+
+    def __init__(self, name: str, in_it: HardwareIterator, bin_it: HardwareIterator,
+                 num_bins: int, sample_width: int, max_count: int) -> None:
+        if max_count < 1:
+            raise ValueError("HistogramAlgorithm needs a positive max_count")
+        if num_bins < 2 or num_bins & (num_bins - 1):
+            raise ValueError(f"num_bins must be a power of two >= 2, got {num_bins}")
+        super().__init__(name, max_count=max_count)
+        self.in_it = in_it
+        self.bin_it = bin_it
+        self.num_bins = num_bins
+        bins_bits = num_bins.bit_length() - 1
+        if bins_bits > sample_width:
+            raise ValueError("more bins than representable sample values")
+        #: How many low-order sample bits are dropped when selecting a bin.
+        self.bin_shift = sample_width - bins_bits
+
+        src = in_it.iface
+        bins = bin_it.iface
+        self._check_iterator(src, needs_read=True, role="input iterator")
+        self._check_iterator(bins, needs_read=True, needs_write=True,
+                             role="bin iterator")
+
+        self._sample_bin = self.state(max(1, bins_bits), name=f"{name}_sample_bin")
+        self._bin_value = self.state(bins.width, name=f"{name}_bin_value")
+        self._fsm = FSM(self, ["TAKE", "SEEK", "LOAD", "LOAD_WAIT",
+                               "STORE", "STORE_WAIT", "DONE"],
+                        name=f"{name}_ctrl")
+
+        @self.comb
+        def strobes() -> None:
+            fsm = self._fsm
+            take = fsm.is_in("TAKE") and src.can_read.value and self._budget_open()
+            src.read.next = 1 if take else 0
+            src.inc.next = 1 if take else 0
+
+            seeking = fsm.is_in("SEEK")
+            loading = fsm.is_in("LOAD") and bins.can_read.value
+            load_pending = fsm.is_in("LOAD_WAIT")
+            storing = fsm.is_in("STORE") and bins.can_write.value
+            store_pending = fsm.is_in("STORE_WAIT")
+
+            bins.index.next = 1 if seeking else 0
+            bins.pos.next = self._sample_bin.value
+            bins.read.next = 1 if (loading or load_pending) else 0
+            bins.write.next = 1 if (storing or store_pending) else 0
+            bins.wdata.next = self._bin_value.value + 1
+            # The bin position is set explicitly through index; no inc/dec.
+            bins.inc.next = 0
+            bins.dec.next = 0
+
+        @self.seq
+        def control() -> None:
+            fsm = self._fsm
+            bins_iface = bins
+            if fsm.is_in("TAKE"):
+                if not self._budget_open():
+                    fsm.goto("DONE")
+                elif src.can_read.value:
+                    self._sample_bin.next = src.rdata.value >> self.bin_shift
+                    fsm.goto("SEEK")
+            elif fsm.is_in("SEEK"):
+                if bins_iface.done.value:
+                    fsm.goto("LOAD")
+            elif fsm.is_in("LOAD"):
+                if bins_iface.can_read.value:
+                    if bins_iface.done.value:
+                        self._bin_value.next = bins_iface.rdata.value
+                        fsm.goto("STORE")
+                    else:
+                        fsm.goto("LOAD_WAIT")
+            elif fsm.is_in("LOAD_WAIT"):
+                if bins_iface.done.value:
+                    self._bin_value.next = bins_iface.rdata.value
+                    fsm.goto("STORE")
+            elif fsm.is_in("STORE"):
+                if bins_iface.can_write.value:
+                    if bins_iface.done.value:
+                        self._account(1)
+                        fsm.goto("TAKE")
+                    else:
+                        fsm.goto("STORE_WAIT")
+            elif fsm.is_in("STORE_WAIT"):
+                if bins_iface.done.value:
+                    self._account(1)
+                    fsm.goto("TAKE")
+            elif fsm.is_in("DONE"):
+                fsm.stay()
+
+
+def golden_histogram(samples: List[int], num_bins: int, sample_width: int,
+                     initial: Optional[List[int]] = None) -> List[int]:
+    """Software reference for :class:`HistogramAlgorithm`."""
+    bins_bits = num_bins.bit_length() - 1
+    shift = sample_width - bins_bits
+    counts = list(initial) if initial is not None else [0] * num_bins
+    for sample in samples:
+        counts[sample >> shift] += 1
+    return counts

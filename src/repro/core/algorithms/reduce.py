@@ -1,0 +1,67 @@
+"""Reduction (accumulate) algorithm over an input iterator.
+
+A small member of the "commonly used algorithms" family: it folds every
+element delivered by an input iterator into an accumulator register.  The
+default operation is summation, which is what image-statistics blocks
+(mean brightness, histogram normalisation) need; any commutative integer
+function can be supplied instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..iterator import HardwareIterator
+from .base import Algorithm
+
+ReduceFunction = Callable[[int, int], int]
+
+
+class ReduceAlgorithm(Algorithm):
+    """Fold elements from an input iterator into an accumulator.
+
+    Parameters
+    ----------
+    in_it:
+        Any readable iterator.
+    max_count:
+        Number of elements to consume before raising ``finished``.
+    func:
+        Binary fold function ``(accumulator, element) -> accumulator``;
+        defaults to addition.
+    acc_width:
+        Width of the accumulator register.
+    """
+
+    def __init__(self, name: str, in_it: HardwareIterator, max_count: int,
+                 func: Optional[ReduceFunction] = None, acc_width: int = 32,
+                 initial: int = 0) -> None:
+        if max_count < 1:
+            raise ValueError("ReduceAlgorithm needs a positive max_count")
+        super().__init__(name, max_count=max_count)
+        self.in_it = in_it
+        self.func: ReduceFunction = func or (lambda acc, element: acc + element)
+        src = in_it.iface
+        self._check_iterator(src, needs_read=True, role="input iterator")
+
+        #: Accumulator register; read :attr:`result` after ``finished`` rises.
+        self.accumulator = self.state(acc_width, init=initial, name=f"{name}_acc")
+
+        @self.comb
+        def strobes() -> None:
+            consume = src.can_read.value and self._budget_open()
+            strobe = 1 if consume else 0
+            src.read.next = strobe
+            src.inc.next = strobe
+
+        @self.seq
+        def fold() -> None:
+            if src.can_read.value and self._budget_open():
+                self.accumulator.next = self.func(
+                    self.accumulator.value, src.rdata.value)
+                self._account(1)
+
+    @property
+    def result(self) -> int:
+        """The committed accumulator value."""
+        return self.accumulator.value

@@ -1,0 +1,91 @@
+"""Element-wise transform algorithm (pixel-wise filtering).
+
+The paper lists "pixel-wise filtering" among the domain algorithms a basic
+component library should offer.  :class:`TransformAlgorithm` generalises the
+stream copy: every element read from the input iterator is passed through a
+combinational function before being written to the output iterator.  The
+function is supplied as a plain Python callable over unsigned integers plus a
+LUT-cost hint that the synthesis estimator charges for the datapath logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..iterator import HardwareIterator
+from .base import Algorithm
+
+ElementFunction = Callable[[int], int]
+
+
+def invert(width: int) -> ElementFunction:
+    """Bitwise inversion (photographic negative for grayscale pixels)."""
+    mask = (1 << width) - 1
+
+    def apply(value: int) -> int:
+        return (~value) & mask
+
+    return apply
+
+
+def threshold(level: int, width: int) -> ElementFunction:
+    """Binarisation: full-scale white above ``level``, black otherwise."""
+    full = (1 << width) - 1
+
+    def apply(value: int) -> int:
+        return full if value >= level else 0
+
+    return apply
+
+
+def gain(numerator: int, denominator: int, width: int) -> ElementFunction:
+    """Fixed-ratio gain with saturation (brightness/contrast adjustment)."""
+    full = (1 << width) - 1
+
+    def apply(value: int) -> int:
+        return min(full, (value * numerator) // denominator)
+
+    return apply
+
+
+class TransformAlgorithm(Algorithm):
+    """Read, transform and write elements one per cycle when both sides allow.
+
+    Parameters
+    ----------
+    func:
+        Combinational element function applied to every value.
+    logic_cost_luts:
+        Estimated LUT cost of the function's datapath, consumed by the
+        synthesis estimator (a pure wire such as the identity costs 0).
+    """
+
+    def __init__(self, name: str, in_it: HardwareIterator, out_it: HardwareIterator,
+                 func: ElementFunction, max_count: Optional[int] = None,
+                 logic_cost_luts: int = 8) -> None:
+        super().__init__(name, max_count=max_count)
+        self.in_it = in_it
+        self.out_it = out_it
+        self.func = func
+        self.logic_cost_luts = logic_cost_luts
+        src = in_it.iface
+        dst = out_it.iface
+        self._check_iterator(src, needs_read=True, role="input iterator")
+        self._check_iterator(dst, needs_write=True, role="output iterator")
+
+        @self.comb
+        def datapath() -> None:
+            transfer = (src.can_read.value and dst.can_write.value
+                        and self._budget_open())
+            strobe = 1 if transfer else 0
+            src.read.next = strobe
+            src.inc.next = strobe
+            dst.write.next = strobe
+            dst.inc.next = strobe
+            dst.wdata.next = self.func(src.rdata.value)
+
+        @self.seq
+        def account() -> None:
+            if (src.can_read.value and dst.can_write.value
+                    and self._budget_open()):
+                self._account(1)

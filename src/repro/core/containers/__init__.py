@@ -1,0 +1,36 @@
+"""Concrete containers of the basic component library (Section 3.2.1).
+
+Importing this package registers every container kind and binding in the
+registries of :mod:`repro.core.container`, in the order Table 1 lists them.
+"""
+
+from .stack import Stack, StackLIFO, StackSRAM
+from .queue import Queue, QueueFIFO, QueueSRAM
+from .read_buffer import ReadBuffer, ReadBufferFIFO, ReadBufferLine3, ReadBufferSRAM
+from .write_buffer import WriteBuffer, WriteBufferFIFO, WriteBufferSRAM
+from .vector import Vector, VectorBRAM, VectorRegisters, VectorSRAM
+from .assoc_array import AssocArray, AssocArrayCAM
+from .circular_sram import CircularBufferSRAM
+
+__all__ = [
+    "Stack",
+    "StackLIFO",
+    "StackSRAM",
+    "Queue",
+    "QueueFIFO",
+    "QueueSRAM",
+    "ReadBuffer",
+    "ReadBufferFIFO",
+    "ReadBufferSRAM",
+    "ReadBufferLine3",
+    "WriteBuffer",
+    "WriteBufferFIFO",
+    "WriteBufferSRAM",
+    "Vector",
+    "VectorBRAM",
+    "VectorSRAM",
+    "VectorRegisters",
+    "AssocArray",
+    "AssocArrayCAM",
+    "CircularBufferSRAM",
+]

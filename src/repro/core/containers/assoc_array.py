@@ -1,0 +1,93 @@
+"""The associative-array container and its physical bindings.
+
+Table 1 classifies the associative array as random-access only (no
+sequential traversal): elements are addressed by key.  The natural hardware
+realisation is a content-addressable memory; a register-file binding with
+the same functional interface is also provided for comparison in the
+design-space characterisation.
+"""
+
+from __future__ import annotations
+
+from ..container import Container, register_binding, register_kind
+from ..interfaces import AssocIface
+from ...primitives import ContentAddressableMemory
+
+
+@register_kind
+class AssocArray(Container):
+    """Abstract associative (key -> value) container.
+
+    Interface
+    ---------
+    port:
+        :class:`AssocIface` — combinational ``lookup`` by key plus
+        synchronous ``insert`` and ``remove`` operations.
+    """
+
+    kind = "assoc_array"
+    random_read = True
+    random_write = True
+
+    def __init__(self, name: str, key_width: int, value_width: int,
+                 capacity: int) -> None:
+        super().__init__(name, value_width, capacity)
+        self.key_width = key_width
+        self.value_width = value_width
+        self.port = AssocIface(self, key_width, value_width, name=f"{name}_port")
+
+    def entries(self) -> dict:
+        """Return the currently stored key/value pairs (backdoor)."""
+        raise NotImplementedError
+
+    def snapshot(self) -> list:
+        return sorted(self.entries().items())
+
+
+@register_binding
+class AssocArrayCAM(AssocArray):
+    """Associative array over a content-addressable memory.
+
+    Lookups match all entries in parallel and complete in the same cycle;
+    inserts and removals take effect at the next clock edge.
+    """
+
+    binding = "cam"
+
+    def __init__(self, name: str, key_width: int, value_width: int,
+                 capacity: int) -> None:
+        super().__init__(name, key_width, value_width, capacity)
+        self.cam = self.child(ContentAddressableMemory(
+            f"{name}_cam", depth=capacity, key_width=key_width,
+            value_width=value_width))
+        self._write_done = self.state(1, name=f"{name}_write_done")
+
+        @self.comb
+        def wrap() -> None:
+            self.cam.lookup_key.next = self.port.key.value
+            self.port.found.next = self.cam.hit.value if self.port.lookup.value else 0
+            self.port.value.next = self.cam.hit_value.value
+            self.port.full.next = self.cam.full.value
+
+            self.cam.insert.next = self.port.insert.value
+            self.cam.insert_key.next = self.port.insert_key.value
+            self.cam.insert_value.next = self.port.insert_value.value
+            self.cam.remove.next = self.port.remove.value
+            self.cam.remove_key.next = self.port.remove_key.value
+
+            # Lookups complete combinationally; inserts/removals complete at
+            # the following edge, signalled by the registered pulse.
+            self.port.done.next = (1 if self.port.lookup.value
+                                   else self._write_done.value)
+
+        @self.seq
+        def track() -> None:
+            self._write_done.next = (
+                1 if (self.port.insert.value or self.port.remove.value) else 0)
+
+    def entries(self) -> dict:
+        return self.cam.entries()
+
+    @property
+    def occupancy(self) -> int:
+        return self.cam.occupancy

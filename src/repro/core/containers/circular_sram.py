@@ -1,0 +1,152 @@
+"""Circular buffer over external SRAM.
+
+The paper describes the SRAM binding of the read buffer as "a little finite
+state machine that controls memory access, as well as a few registers to
+store the begin and end pointers of the queue (implemented as a circular
+buffer) over the static RAM".  This component is exactly that machine; the
+read-buffer, write-buffer and queue SRAM bindings embed it and simply expose
+its two stream interfaces under the role names of their kind.
+
+Structure
+---------
+* a *fill* side (:class:`StreamSinkIface`): incoming elements are accepted
+  into a one-element holding register and then written to SRAM at the tail
+  pointer;
+* a *drain* side (:class:`StreamSourceIface`): the element at the head
+  pointer is prefetched from SRAM into a data register, so the consumer sees
+  single-cycle reads whenever ``valid`` is high — exactly how a generated
+  container keeps the iterator a pure wrapper even over slow memory.
+"""
+
+from __future__ import annotations
+
+from ..interfaces import StreamSinkIface, StreamSourceIface
+from ...primitives import AsyncSRAM
+from ...rtl import Component, FSM, clog2
+
+
+class CircularBufferSRAM(Component):
+    """FIFO-ordered circular buffer stored in external SRAM.
+
+    Parameters
+    ----------
+    capacity:
+        Number of elements the SRAM region can hold.
+    width:
+        Element width in bits.
+    sram_latency:
+        Access latency of the external memory, in cycles.
+    """
+
+    def __init__(self, name: str, capacity: int, width: int,
+                 sram_latency: int = 2) -> None:
+        super().__init__(name)
+        self.capacity = capacity
+        self.width = width
+
+        self.fill = StreamSinkIface(self, width, name=f"{name}_fill")
+        self.drain = StreamSourceIface(self, width, name=f"{name}_drain")
+
+        self.sram = self.child(AsyncSRAM(
+            f"{name}_sram", depth=capacity, width=width, latency=sram_latency))
+
+        ptr_width = clog2(capacity)
+        cnt_width = clog2(capacity + 1)
+
+        # Begin/end pointers and occupancy of the circular buffer.
+        self._head = self.state(ptr_width, name=f"{name}_head")
+        self._tail = self.state(ptr_width, name=f"{name}_tail")
+        self._count = self.state(cnt_width, name=f"{name}_count")
+
+        # Holding register on the fill side.
+        self._hold = self.state(width, name=f"{name}_hold")
+        self._hold_valid = self.state(1, name=f"{name}_hold_valid")
+
+        # Prefetch register on the drain side.
+        self._pref = self.state(width, name=f"{name}_pref")
+        self._pref_valid = self.state(1, name=f"{name}_pref_valid")
+
+        self._fsm = FSM(self, ["IDLE", "WRITE", "READ", "RELEASE"],
+                        name=f"{name}_ctrl")
+
+        @self.comb
+        def handshake() -> None:
+            self.fill.ready.next = 0 if self._hold_valid.value else 1
+            self.drain.valid.next = self._pref_valid.value
+            self.drain.data.next = self._pref.value
+
+        @self.seq
+        def control() -> None:
+            fsm = self._fsm
+            count = self._count.value
+            hold_valid = self._hold_valid.value
+            pref_valid = self._pref_valid.value
+
+            # Accept a new element into the holding register.
+            accepted_fill = False
+            if self.fill.push.value and not hold_valid:
+                self._hold.next = self.fill.data.value
+                self._hold_valid.next = 1
+                accepted_fill = True
+
+            # Hand the prefetched element to the consumer.
+            consumed = False
+            if self.drain.pop.value and pref_valid:
+                self._pref_valid.next = 0
+                consumed = True
+
+            if fsm.is_in("IDLE"):
+                if hold_valid and count < self.capacity:
+                    # Write the held element to the tail position.
+                    self.sram.addr.next = self._tail.value
+                    self.sram.wdata.next = self._hold.value
+                    self.sram.we.next = 1
+                    self.sram.req.next = 1
+                    fsm.goto("WRITE")
+                elif count > 0 and not pref_valid and not consumed:
+                    # Prefetch the head element for the consumer.
+                    self.sram.addr.next = self._head.value
+                    self.sram.we.next = 0
+                    self.sram.req.next = 1
+                    fsm.goto("READ")
+            elif fsm.is_in("WRITE"):
+                if self.sram.ack.value:
+                    self._tail.next = (self._tail.value + 1) % self.capacity
+                    self._count.next = count + 1
+                    if not accepted_fill:
+                        self._hold_valid.next = 0
+                    self.sram.req.next = 0
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("READ"):
+                if self.sram.ack.value:
+                    self._pref.next = self.sram.rdata.value
+                    if not consumed:
+                        self._pref_valid.next = 1
+                    self._head.next = (self._head.value + 1) % self.capacity
+                    self._count.next = count - 1
+                    self.sram.req.next = 0
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("RELEASE"):
+                if not self.sram.ack.value:
+                    fsm.goto("IDLE")
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Total elements logically held (SRAM + holding + prefetch registers)."""
+        return (self._count.value
+                + (1 if self._hold_valid.value else 0)
+                + (1 if self._pref_valid.value else 0))
+
+    def snapshot(self) -> list:
+        """Logical contents in FIFO order (prefetched element first)."""
+        items = []
+        if self._pref_valid.value:
+            items.append(self._pref.value)
+        head = self._head.value
+        for i in range(self._count.value):
+            items.append(self.sram.read_word((head + i) % self.capacity))
+        if self._hold_valid.value:
+            items.append(self._hold.value)
+        return items

@@ -1,0 +1,97 @@
+"""The queue container and its physical bindings.
+
+A queue is a general FIFO-ordered container whose *both* ends face the
+algorithm side: producers push through output iterators and consumers pop
+through input iterators, both traversing forward (Table 1: sequential F/F).
+The paper notes queues map most efficiently onto FIFO cores but "the same
+queue over an external RAM" may lower overall system cost.
+"""
+
+from __future__ import annotations
+
+from ..container import Container, register_binding, register_kind
+from ..interfaces import F, StreamSinkIface, StreamSourceIface
+from ...primitives import SyncFIFO
+from .circular_sram import CircularBufferSRAM
+
+
+@register_kind
+class Queue(Container):
+    """Abstract FIFO-ordered queue.
+
+    Interfaces
+    ----------
+    sink:
+        :class:`StreamSinkIface` — output iterators push elements here.
+    source:
+        :class:`StreamSourceIface` — input iterators pop elements here.
+    """
+
+    kind = "queue"
+    seq_read = F
+    seq_write = F
+
+    def __init__(self, name: str, width: int, capacity: int) -> None:
+        super().__init__(name, width, capacity)
+        self.sink = StreamSinkIface(self, width, name=f"{name}_sink")
+        self.source = StreamSourceIface(self, width, name=f"{name}_source")
+
+
+@register_binding
+class QueueFIFO(Queue):
+    """Queue over an on-chip FIFO core ("the most efficient implementation")."""
+
+    binding = "fifo"
+    transparent = True
+
+    def __init__(self, name: str, width: int, capacity: int) -> None:
+        super().__init__(name, width, capacity)
+        self.fifo = self.child(SyncFIFO(f"{name}_fifo", depth=capacity, width=width))
+
+        @self.comb
+        def wrap() -> None:
+            self.fifo.din.next = self.sink.data.value
+            self.fifo.push.next = self.sink.push.value
+            self.sink.ready.next = 0 if self.fifo.full.value else 1
+            self.source.data.next = self.fifo.dout.value
+            self.source.valid.next = 0 if self.fifo.empty.value else 1
+            self.fifo.pop.next = self.source.pop.value
+
+    @property
+    def occupancy(self) -> int:
+        return self.fifo.occupancy
+
+    def snapshot(self) -> list:
+        return self.fifo.contents()
+
+
+@register_binding
+class QueueSRAM(Queue):
+    """Queue over external static RAM ("may lower the overall system cost")."""
+
+    binding = "sram"
+    external_storage = True
+    transparent = True
+
+    def __init__(self, name: str, width: int, capacity: int,
+                 sram_latency: int = 2) -> None:
+        super().__init__(name, width, capacity)
+        self.buffer = self.child(CircularBufferSRAM(
+            f"{name}_cbuf", capacity=capacity, width=width,
+            sram_latency=sram_latency))
+
+        @self.comb
+        def wrap() -> None:
+            self.buffer.fill.data.next = self.sink.data.value
+            self.buffer.fill.push.next = self.sink.push.value
+            self.sink.ready.next = self.buffer.fill.ready.value
+            self.source.data.next = self.buffer.drain.data.value
+            self.source.valid.next = self.buffer.drain.valid.value
+            self.buffer.drain.pop.next = self.source.pop.value
+
+    @property
+    def occupancy(self) -> int:
+        return self.buffer.occupancy
+
+    def snapshot(self) -> list:
+        return self.buffer.snapshot()

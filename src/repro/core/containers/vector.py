@@ -1,0 +1,190 @@
+"""The vector container and its physical bindings.
+
+The vector is the only Table-1 container with both random and sequential
+access, in both directions: random iterators use its ``index`` operation,
+while forward/backward/bidirectional iterators traverse it with an address
+register.  Bindings are provided over on-chip block RAM, external SRAM and a
+register file; they differ only in access latency and in where the storage
+bits are counted by the synthesis estimator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..container import Container, register_binding, register_kind
+from ..interfaces import FB, RandomIface
+from ...primitives import AsyncSRAM, RegisterFile, SinglePortRAM
+from ...rtl import FSM, clog2
+
+
+@register_kind
+class Vector(Container):
+    """Abstract fixed-capacity vector with random read/write access.
+
+    Interface
+    ---------
+    port:
+        :class:`RandomIface` — iterators start an access by driving ``en``
+        (with ``we``, ``addr`` and ``wdata``) and hold it until ``done``
+        pulses; ``rdata`` is valid in the ``done`` cycle.
+    """
+
+    kind = "vector"
+    random_read = True
+    random_write = True
+    seq_read = FB
+    seq_write = FB
+
+    def __init__(self, name: str, width: int, capacity: int) -> None:
+        super().__init__(name, width, capacity)
+        self.addr_width = clog2(capacity)
+        self.port = RandomIface(self, self.addr_width, width, name=f"{name}_port")
+
+    # Concrete bindings implement backdoor access for test benches.
+    def read_word(self, addr: int) -> int:
+        raise NotImplementedError
+
+    def write_word(self, addr: int, value: int) -> None:
+        raise NotImplementedError
+
+    def load(self, values: List[int], offset: int = 0) -> None:
+        """Preload elements (backdoor, zero simulation time)."""
+        for i, value in enumerate(values):
+            self.write_word(offset + i, value)
+
+    def snapshot(self) -> list:
+        return [self.read_word(i) for i in range(self.capacity)]
+
+    @property
+    def occupancy(self) -> int:
+        # A vector always holds `capacity` elements; occupancy is structural.
+        return self.capacity
+
+
+@register_binding
+class VectorBRAM(Vector):
+    """Vector over on-chip block RAM (1-cycle registered read)."""
+
+    binding = "bram"
+
+    def __init__(self, name: str, width: int, capacity: int,
+                 init: Optional[List[int]] = None) -> None:
+        super().__init__(name, width, capacity)
+        self.ram = self.child(SinglePortRAM(
+            f"{name}_ram", depth=capacity, width=width, init=init))
+        self._busy = self.state(1, name=f"{name}_busy")
+
+        @self.comb
+        def wrap() -> None:
+            busy = self._busy.value
+            # Start a RAM access only when idle; the registered read data is
+            # presented (and `done` pulsed) in the following cycle.
+            start = self.port.en.value and not busy
+            self.ram.en.next = 1 if start else 0
+            self.ram.we.next = self.port.we.value if start else 0
+            self.ram.addr.next = self.port.addr.value
+            self.ram.din.next = self.port.wdata.value
+            self.port.rdata.next = self.ram.dout.value
+            self.port.done.next = busy
+            self.port.idle.next = 0 if busy else 1
+
+        @self.seq
+        def track() -> None:
+            if self._busy.value:
+                self._busy.next = 0
+            elif self.port.en.value:
+                self._busy.next = 1
+
+    def read_word(self, addr: int) -> int:
+        return self.ram.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.ram.write_word(addr, value)
+
+
+@register_binding
+class VectorSRAM(Vector):
+    """Vector over external static RAM (req/ack handshake, multi-cycle)."""
+
+    binding = "sram"
+    external_storage = True
+
+    def __init__(self, name: str, width: int, capacity: int,
+                 sram_latency: int = 2, init: Optional[List[int]] = None) -> None:
+        super().__init__(name, width, capacity)
+        self.sram = self.child(AsyncSRAM(
+            f"{name}_sram", depth=capacity, width=width, latency=sram_latency,
+            init=init))
+        self._data = self.state(width, name=f"{name}_data")
+        self._done = self.state(1, name=f"{name}_done")
+        self._fsm = FSM(self, ["IDLE", "WAIT", "RELEASE"], name=f"{name}_ctrl")
+
+        @self.comb
+        def wrap() -> None:
+            self.port.rdata.next = self._data.value
+            self.port.done.next = self._done.value
+            self.port.idle.next = 1 if self._fsm.is_in("IDLE") else 0
+
+        @self.seq
+        def control() -> None:
+            fsm = self._fsm
+            self._done.next = 0
+            if fsm.is_in("IDLE"):
+                if self.port.en.value:
+                    self.sram.addr.next = self.port.addr.value
+                    self.sram.wdata.next = self.port.wdata.value
+                    self.sram.we.next = self.port.we.value
+                    self.sram.req.next = 1
+                    fsm.goto("WAIT")
+            elif fsm.is_in("WAIT"):
+                if self.sram.ack.value:
+                    self._data.next = self.sram.rdata.value
+                    self._done.next = 1
+                    self.sram.req.next = 0
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("RELEASE"):
+                if not self.sram.ack.value:
+                    fsm.goto("IDLE")
+
+    def read_word(self, addr: int) -> int:
+        return self.sram.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.sram.write_word(addr, value)
+
+
+@register_binding
+class VectorRegisters(Vector):
+    """Vector over a register file (combinational read, single-cycle ops).
+
+    Suitable only for small capacities; the estimator charges one flip-flop
+    per storage bit, which is exactly the area trade-off the design-space
+    characterisation of Section 3.4 is meant to expose.
+    """
+
+    binding = "registers"
+    transparent = True
+
+    def __init__(self, name: str, width: int, capacity: int) -> None:
+        super().__init__(name, width, capacity)
+        self.regs = self.child(RegisterFile(
+            f"{name}_regs", depth=capacity, width=width))
+
+        @self.comb
+        def wrap() -> None:
+            self.regs.raddr.next = self.port.addr.value
+            self.regs.waddr.next = self.port.addr.value
+            self.regs.wdata.next = self.port.wdata.value
+            self.regs.wen.next = 1 if (self.port.en.value and self.port.we.value) else 0
+            self.port.rdata.next = self.regs.rdata.value
+            # Reads complete combinationally, writes at the next clock edge;
+            # either way the access is accepted immediately.
+            self.port.done.next = self.port.en.value
+            self.port.idle.next = 1
+
+    def read_word(self, addr: int) -> int:
+        return self.regs.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.regs.write_word(addr, value)

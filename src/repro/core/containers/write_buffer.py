@@ -1,0 +1,101 @@
+"""The write-buffer container and its physical bindings.
+
+A write buffer is the container used "to accommodate the output video
+stream": algorithms write it sequentially forward through an output iterator,
+and the environment (VGA coder) drains it.  Table 1 classifies it as
+sequential-output, forward-only.
+"""
+
+from __future__ import annotations
+
+from ..container import Container, register_binding, register_kind
+from ..interfaces import F, NONE, StreamSinkIface, StreamSourceIface
+from ...primitives import SyncFIFO
+from .circular_sram import CircularBufferSRAM
+
+
+@register_kind
+class WriteBuffer(Container):
+    """Abstract write buffer: written by algorithms, drained by the environment.
+
+    Interfaces
+    ----------
+    sink:
+        :class:`StreamSinkIface` — iterators push elements here.
+    drain:
+        :class:`StreamSourceIface` — the environment (e.g. the VGA coder
+        back-end) pulls elements from here.
+    """
+
+    kind = "write_buffer"
+    seq_read = NONE
+    seq_write = F
+
+    def __init__(self, name: str, width: int, capacity: int) -> None:
+        super().__init__(name, width, capacity)
+        self.sink = StreamSinkIface(self, width, name=f"{name}_sink")
+        self.drain = StreamSourceIface(self, width, name=f"{name}_drain")
+
+
+@register_binding
+class WriteBufferFIFO(WriteBuffer):
+    """Write buffer over an on-chip FIFO core: a pure wrapper around the core."""
+
+    binding = "fifo"
+    transparent = True
+
+    def __init__(self, name: str, width: int, capacity: int) -> None:
+        super().__init__(name, width, capacity)
+        self.fifo = self.child(SyncFIFO(f"{name}_fifo", depth=capacity, width=width))
+
+        @self.comb
+        def wrap() -> None:
+            # Sink side: algorithm pushes into the FIFO.
+            self.fifo.din.next = self.sink.data.value
+            self.fifo.push.next = self.sink.push.value
+            self.sink.ready.next = 0 if self.fifo.full.value else 1
+            # Drain side: environment pops from the FIFO.
+            self.drain.data.next = self.fifo.dout.value
+            self.drain.valid.next = 0 if self.fifo.empty.value else 1
+            self.fifo.pop.next = self.drain.pop.value
+
+    @property
+    def occupancy(self) -> int:
+        return self.fifo.occupancy
+
+    def snapshot(self) -> list:
+        return self.fifo.contents()
+
+
+@register_binding
+class WriteBufferSRAM(WriteBuffer):
+    """Write buffer over external static RAM (circular buffer + pointer FSM)."""
+
+    binding = "sram"
+    external_storage = True
+    transparent = True
+
+    def __init__(self, name: str, width: int, capacity: int,
+                 sram_latency: int = 2) -> None:
+        super().__init__(name, width, capacity)
+        self.buffer = self.child(CircularBufferSRAM(
+            f"{name}_cbuf", capacity=capacity, width=width,
+            sram_latency=sram_latency))
+
+        @self.comb
+        def wrap() -> None:
+            # Sink side forwards to the circular buffer's fill interface.
+            self.buffer.fill.data.next = self.sink.data.value
+            self.buffer.fill.push.next = self.sink.push.value
+            self.sink.ready.next = self.buffer.fill.ready.value
+            # Drain side forwards the prefetched head element.
+            self.drain.data.next = self.buffer.drain.data.value
+            self.drain.valid.next = self.buffer.drain.valid.value
+            self.buffer.drain.pop.next = self.drain.pop.value
+
+    @property
+    def occupancy(self) -> int:
+        return self.buffer.occupancy
+
+    def snapshot(self) -> list:
+        return self.buffer.snapshot()

@@ -1,0 +1,232 @@
+"""Functional interfaces of the pattern library.
+
+The paper separates, for every generated VHDL entity, a *functional
+interface* (the operations and parameters of the abstract model: ``read``,
+``inc``, ``empty`` ...) from an *implementation interface* (the ports that
+talk to the physical device: ``p_addr``, ``p_data``, ``req`` ...).
+
+This module defines the functional interfaces as :class:`SignalBundle`
+subclasses, plus the classification vocabulary used by Tables 1 and 2 of the
+paper (access kinds, traversal directions and iterator operations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..rtl import Component, SignalBundle
+
+
+class Access(enum.Enum):
+    """How a container's elements are addressed."""
+
+    RANDOM = "random"
+    SEQUENTIAL = "sequential"
+
+
+class Traversal(enum.Enum):
+    """Direction of a sequential traversal."""
+
+    FORWARD = "F"
+    BACKWARD = "B"
+
+
+#: Shorthand traversal sets used in container classification (Table 1).
+F = frozenset({Traversal.FORWARD})
+B = frozenset({Traversal.BACKWARD})
+FB = frozenset({Traversal.FORWARD, Traversal.BACKWARD})
+NONE: FrozenSet[Traversal] = frozenset()
+
+
+class IteratorOp(enum.Enum):
+    """The iterator operation set of Table 2."""
+
+    INC = "inc"
+    DEC = "dec"
+    READ = "read"
+    WRITE = "write"
+    INDEX = "index"
+
+
+@dataclass(frozen=True)
+class OpDescriptor:
+    """Static description of an iterator operation (one row of Table 2)."""
+
+    op: IteratorOp
+    meaning: str
+    applicability: str
+
+
+#: The rows of Table 2, verbatim.
+ITERATOR_OPERATIONS = (
+    OpDescriptor(IteratorOp.INC, "move forward", "F / F, B"),
+    OpDescriptor(IteratorOp.DEC, "move backwards", "B / F, B"),
+    OpDescriptor(IteratorOp.READ, "get the element", "random / F, B"),
+    OpDescriptor(IteratorOp.WRITE, "put the element", "random / F, B"),
+    OpDescriptor(IteratorOp.INDEX, "set the current position", "random"),
+)
+
+
+def format_traversals(traversals: FrozenSet[Traversal]) -> str:
+    """Render a traversal set the way Table 1 prints it ('F', 'B', 'F, B' or '-')."""
+    if not traversals:
+        return "-"
+    ordered = [t.value for t in (Traversal.FORWARD, Traversal.BACKWARD)
+               if t in traversals]
+    return ", ".join(ordered)
+
+
+# ---------------------------------------------------------------------------
+# Functional interfaces (signal bundles)
+# ---------------------------------------------------------------------------
+
+
+class StreamSourceIface(SignalBundle):
+    """Sequential read-side interface of a container (read buffer, queue...).
+
+    ``data``/``valid`` are driven by the container; ``pop`` is driven by the
+    consumer (an iterator).  A transfer happens in any cycle where ``valid``
+    and ``pop`` are both high.
+    """
+
+    def __init__(self, owner: Component, width: int, name: str = "src") -> None:
+        super().__init__(
+            name,
+            data=owner.signal(width, name=f"{name}_data"),
+            valid=owner.signal(1, name=f"{name}_valid"),
+            pop=owner.signal(1, name=f"{name}_pop"),
+        )
+        self.width = width
+
+
+class StreamSinkIface(SignalBundle):
+    """Sequential write-side interface of a container (write buffer, queue...).
+
+    ``ready`` is driven by the container; ``data`` and ``push`` by the
+    producer.  A transfer happens when ``ready`` and ``push`` are both high.
+    """
+
+    def __init__(self, owner: Component, width: int, name: str = "snk") -> None:
+        super().__init__(
+            name,
+            data=owner.signal(width, name=f"{name}_data"),
+            ready=owner.signal(1, name=f"{name}_ready"),
+            push=owner.signal(1, name=f"{name}_push"),
+        )
+        self.width = width
+
+
+class WindowSourceIface(SignalBundle):
+    """Column-window read interface of the 3-line-buffer read buffer.
+
+    Each accepted ``pop`` consumes one input pixel and presents the vertical
+    column of three pixels at that horizontal position.
+    """
+
+    def __init__(self, owner: Component, width: int, x_width: int,
+                 name: str = "win") -> None:
+        super().__init__(
+            name,
+            col_top=owner.signal(width, name=f"{name}_col_top"),
+            col_mid=owner.signal(width, name=f"{name}_col_mid"),
+            col_bot=owner.signal(width, name=f"{name}_col_bot"),
+            valid=owner.signal(1, name=f"{name}_valid"),
+            pop=owner.signal(1, name=f"{name}_pop"),
+            x=owner.signal(x_width, name=f"{name}_x"),
+        )
+        self.width = width
+        self.x_width = x_width
+
+
+class RandomIface(SignalBundle):
+    """Random-access interface of a container (vector).
+
+    The requester drives ``en`` (with ``we``/``addr``/``wdata``) and holds it
+    until ``done`` pulses; ``rdata`` is valid in the ``done`` cycle for reads.
+    ``idle`` is high when a new access can be started.
+    """
+
+    def __init__(self, owner: Component, addr_width: int, width: int,
+                 name: str = "ram") -> None:
+        super().__init__(
+            name,
+            en=owner.signal(1, name=f"{name}_en"),
+            we=owner.signal(1, name=f"{name}_we"),
+            addr=owner.signal(addr_width, name=f"{name}_addr"),
+            wdata=owner.signal(width, name=f"{name}_wdata"),
+            rdata=owner.signal(width, name=f"{name}_rdata"),
+            done=owner.signal(1, name=f"{name}_done"),
+            idle=owner.signal(1, init=1, name=f"{name}_idle"),
+        )
+        self.addr_width = addr_width
+        self.width = width
+
+
+class AssocIface(SignalBundle):
+    """Associative (key/value) interface of the associative-array container."""
+
+    def __init__(self, owner: Component, key_width: int, value_width: int,
+                 name: str = "assoc") -> None:
+        super().__init__(
+            name,
+            lookup=owner.signal(1, name=f"{name}_lookup"),
+            key=owner.signal(key_width, name=f"{name}_key"),
+            found=owner.signal(1, name=f"{name}_found"),
+            value=owner.signal(value_width, name=f"{name}_value"),
+            insert=owner.signal(1, name=f"{name}_insert"),
+            insert_key=owner.signal(key_width, name=f"{name}_insert_key"),
+            insert_value=owner.signal(value_width, name=f"{name}_insert_value"),
+            remove=owner.signal(1, name=f"{name}_remove"),
+            remove_key=owner.signal(key_width, name=f"{name}_remove_key"),
+            done=owner.signal(1, name=f"{name}_done"),
+            full=owner.signal(1, name=f"{name}_full"),
+        )
+        self.key_width = key_width
+        self.value_width = value_width
+
+
+class IteratorIface(SignalBundle):
+    """The canonical iterator interface presented to algorithms (Table 2).
+
+    Control signals (driven by the algorithm): ``inc``, ``dec``, ``read``,
+    ``write``, ``index``, ``pos`` and ``wdata``.  Status/data signals (driven
+    by the iterator): ``rdata``, ``done``, ``can_read`` and ``can_write``.
+
+    Protocol: the algorithm may assert operation strobes in any cycle where
+    the corresponding ``can_read``/``can_write`` is high; ``done`` pulses in
+    the cycle the operation completes and ``rdata`` is valid in that cycle.
+    For single-cycle bindings ``done`` coincides with the strobe; multi-cycle
+    bindings keep ``can_*`` low while busy.
+    """
+
+    def __init__(self, owner: Component, width: int, pos_width: int = 1,
+                 name: str = "it") -> None:
+        super().__init__(
+            name,
+            inc=owner.signal(1, name=f"{name}_inc"),
+            dec=owner.signal(1, name=f"{name}_dec"),
+            read=owner.signal(1, name=f"{name}_read"),
+            write=owner.signal(1, name=f"{name}_write"),
+            index=owner.signal(1, name=f"{name}_index"),
+            pos=owner.signal(pos_width, name=f"{name}_pos"),
+            wdata=owner.signal(width, name=f"{name}_wdata"),
+            rdata=owner.signal(width, name=f"{name}_rdata"),
+            done=owner.signal(1, name=f"{name}_done"),
+            can_read=owner.signal(1, name=f"{name}_can_read"),
+            can_write=owner.signal(1, name=f"{name}_can_write"),
+        )
+        self.width = width
+        self.pos_width = pos_width
+
+
+class WindowIteratorIface(IteratorIface):
+    """Iterator interface extended with a vertical 3-pixel window read port."""
+
+    def __init__(self, owner: Component, width: int, pos_width: int = 1,
+                 name: str = "wit") -> None:
+        super().__init__(owner, width, pos_width, name)
+        self.add("rdata_top", owner.signal(width, name=f"{name}_rdata_top"))
+        self.add("rdata_mid", owner.signal(width, name=f"{name}_rdata_mid"))
+        self.add("rdata_bot", owner.signal(width, name=f"{name}_rdata_bot"))

@@ -1,0 +1,140 @@
+"""Abstract iterators and the iterator registry.
+
+Iterators "provide a way to access the elements of a data store (aggregate
+object) without exposing its underlying representation".  In the hardware
+version (Section 3.1) iterators are instantiated at design time and each
+container kind has its own concrete iterator, because "although the iterator
+provides a common interface for any container, it must have a deep knowledge
+of the internals of the container".
+
+Every iterator exposes the canonical :class:`IteratorIface` to the algorithm
+side; the concrete subclasses differ in which operations of Table 2 they
+support and in how those operations are mapped onto the container's
+functional interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple, Type
+
+from ..rtl import Component
+from .container import Container
+from .interfaces import IteratorIface, IteratorOp, Traversal
+
+
+class IteratorError(Exception):
+    """Raised for iterator registry/instantiation problems."""
+
+
+class HardwareIterator(Component):
+    """Base class for all hardware iterators.
+
+    Class attributes
+    ----------------
+    traversal:
+        Which traversal family this iterator belongs to: ``"forward"``,
+        ``"backward"``, ``"bidirectional"`` or ``"random"``.
+    readable / writable:
+        Whether this is an input (read) and/or output (write) iterator, in
+        the STL sense.
+    container_kind:
+        The container kind this concrete iterator knows how to traverse.
+    """
+
+    traversal: str = "abstract"
+    readable: bool = False
+    writable: bool = False
+    container_kind: str = "abstract"
+
+    #: Most simple iterators are pure wrappers "dissolved at the time of
+    #: synthesizing the design"; subclasses with real state override this.
+    transparent: bool = True
+
+    def __init__(self, name: str, container: Container) -> None:
+        super().__init__(name)
+        self.container = container
+        self.iface: Optional[IteratorIface] = None
+
+    # -- operation support (Table 2) --------------------------------------------------
+
+    @classmethod
+    def supported_ops(cls) -> FrozenSet[IteratorOp]:
+        """The subset of Table-2 operations this iterator implements."""
+        ops = set()
+        if cls.traversal in ("forward", "bidirectional", "random", "window"):
+            ops.add(IteratorOp.INC)
+        if cls.traversal in ("backward", "bidirectional", "random"):
+            ops.add(IteratorOp.DEC)
+        if cls.readable:
+            ops.add(IteratorOp.READ)
+        if cls.writable:
+            ops.add(IteratorOp.WRITE)
+        if cls.traversal == "random":
+            ops.add(IteratorOp.INDEX)
+        return frozenset(ops)
+
+    @classmethod
+    def supports(cls, op: IteratorOp) -> bool:
+        """Whether operation ``op`` is implemented by this iterator."""
+        return op in cls.supported_ops()
+
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        """A summary row used by the Table-2 reproduction bench."""
+        return {
+            "iterator": cls.__name__,
+            "traversal": cls.traversal,
+            "container": cls.container_kind,
+            "readable": "yes" if cls.readable else "-",
+            "writable": "yes" if cls.writable else "-",
+            "ops": ", ".join(sorted(op.value for op in cls.supported_ops())),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: (container_kind, traversal, readable, writable) -> iterator class
+ITERATOR_REGISTRY: Dict[Tuple[str, str, bool, bool], Type[HardwareIterator]] = {}
+
+
+def register_iterator(cls: Type[HardwareIterator]) -> Type[HardwareIterator]:
+    """Class decorator registering a concrete iterator implementation."""
+    key = (cls.container_kind, cls.traversal, cls.readable, cls.writable)
+    if key in ITERATOR_REGISTRY:
+        raise IteratorError(f"iterator for {key!r} already registered")
+    ITERATOR_REGISTRY[key] = cls
+    return cls
+
+
+def iterators_for(container_kind: str) -> List[Type[HardwareIterator]]:
+    """All iterator classes registered for ``container_kind``."""
+    return [cls for (kind, _t, _r, _w), cls in ITERATOR_REGISTRY.items()
+            if kind == container_kind]
+
+
+def make_iterator(container: Container, traversal: str, *, readable: bool = False,
+                  writable: bool = False, name: Optional[str] = None) -> HardwareIterator:
+    """Factory: build the concrete iterator matching a container and a role.
+
+    Mirrors the paper's rule that "a concrete iterator must exist for each
+    type of container in the library": lookup is by the container's *kind*,
+    so the same algorithm + iterator combination works for every binding of
+    that kind.
+    """
+    key = (container.kind, traversal, readable, writable)
+    try:
+        cls = ITERATOR_REGISTRY[key]
+    except KeyError:
+        available = [k for k in ITERATOR_REGISTRY if k[0] == container.kind]
+        raise IteratorError(
+            f"no {traversal} iterator (readable={readable}, writable={writable}) "
+            f"registered for container kind {container.kind!r}; "
+            f"available: {available}") from None
+    return cls(name or f"{container.name}_it", container)
+
+
+def iterator_catalog() -> List[Dict[str, str]]:
+    """Describe every registered iterator (used by the Table-2 bench)."""
+    return [cls.describe() for cls in ITERATOR_REGISTRY.values()]

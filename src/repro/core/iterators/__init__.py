@@ -1,0 +1,38 @@
+"""Concrete iterators of the basic component library (Section 3.2.2).
+
+Importing this package registers every iterator in the registry of
+:mod:`repro.core.iterator`, so :func:`repro.core.iterator.make_iterator` can
+resolve the right concrete iterator for a container kind and traversal role.
+"""
+
+from .stream import (
+    QueueForwardInputIterator,
+    QueueForwardOutputIterator,
+    ReadBufferForwardIterator,
+    StackBackwardOutputIterator,
+    StackForwardInputIterator,
+    WriteBufferForwardIterator,
+)
+from .window import Line3WindowIterator
+from .random_access import (
+    VectorBackwardInputIterator,
+    VectorBidirectionalIterator,
+    VectorForwardInputIterator,
+    VectorForwardOutputIterator,
+    VectorRandomIterator,
+)
+
+__all__ = [
+    "ReadBufferForwardIterator",
+    "WriteBufferForwardIterator",
+    "QueueForwardInputIterator",
+    "QueueForwardOutputIterator",
+    "StackForwardInputIterator",
+    "StackBackwardOutputIterator",
+    "Line3WindowIterator",
+    "VectorRandomIterator",
+    "VectorBidirectionalIterator",
+    "VectorForwardInputIterator",
+    "VectorForwardOutputIterator",
+    "VectorBackwardInputIterator",
+]

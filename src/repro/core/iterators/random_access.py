@@ -1,0 +1,175 @@
+"""Random, bidirectional, forward and backward iterators over the vector container.
+
+Unlike the stream iterators, these keep real state: "all iterators keep track
+of their current position in the traversal of the container" — here that is
+an explicit position register, exactly the "memory address register pointing
+to the appropriate position in RAM" that the motivating example of Section 2
+had to scatter through its ad-hoc FSM.  Because the position register and the
+access control FSM are genuine logic, these iterators are *not* transparent.
+
+Operation protocol (multi-cycle, done-based):
+
+* ``index`` (random iterators only): load ``pos`` into the position register;
+  completes with a ``done`` pulse on the next cycle.
+* ``inc`` / ``dec`` alone: move the position register; ``done`` on the next
+  cycle.
+* ``read`` / ``write`` (optionally combined with ``inc``/``dec``): perform a
+  container access at the current position, then advance; ``done`` pulses
+  when the access has completed and ``rdata`` holds the element.
+* ``can_read`` / ``can_write`` are high only when a new operation can be
+  accepted.
+"""
+
+from __future__ import annotations
+
+from ..container import Container
+from ..interfaces import IteratorIface, IteratorOp
+from ..iterator import HardwareIterator, register_iterator
+from ...rtl import FSM
+
+
+class _VectorIteratorBase(HardwareIterator):
+    """Shared position-register + access-FSM implementation."""
+
+    container_kind = "vector"
+    transparent = False
+
+    def __init__(self, name: str, container: Container, start: int = 0) -> None:
+        super().__init__(name, container)
+        width = container.width
+        addr_width = container.addr_width
+        self.capacity = container.capacity
+        port = container.port
+        self.iface = IteratorIface(self, width, pos_width=addr_width,
+                                   name=f"{name}_if")
+
+        self._pos = self.state(addr_width, init=start % container.capacity,
+                               name=f"{name}_pos")
+        self._data = self.state(width, name=f"{name}_data")
+        self._done = self.state(1, name=f"{name}_done")
+        self._we = self.state(1, name=f"{name}_we")
+        self._wdata = self.state(width, name=f"{name}_wdata")
+        self._post_inc = self.state(1, name=f"{name}_post_inc")
+        self._post_dec = self.state(1, name=f"{name}_post_dec")
+        self._fsm = FSM(self, ["IDLE", "ACCESS"], name=f"{name}_ctrl")
+
+        supports = type(self).supported_ops()
+        allow_inc = IteratorOp.INC in supports
+        allow_dec = IteratorOp.DEC in supports
+        allow_read = IteratorOp.READ in supports
+        allow_write = IteratorOp.WRITE in supports
+        allow_index = IteratorOp.INDEX in supports
+
+        @self.comb
+        def wrap() -> None:
+            idle = self._fsm.is_in("IDLE")
+            accepting = (idle and port.idle.value and not self._done.value)
+            self.iface.can_read.next = 1 if (accepting and allow_read) else 0
+            self.iface.can_write.next = 1 if (accepting and allow_write) else 0
+            self.iface.rdata.next = self._data.value
+            self.iface.done.next = self._done.value
+            in_access = self._fsm.is_in("ACCESS")
+            port.en.next = 1 if in_access else 0
+            port.we.next = self._we.value
+            port.addr.next = self._pos.value
+            port.wdata.next = self._wdata.value
+
+        @self.seq
+        def control() -> None:
+            fsm = self._fsm
+            self._done.next = 0
+            pos = self._pos.value
+            if fsm.is_in("IDLE"):
+                if self._done.value:
+                    # Give the algorithm one cycle to retire its strobes.
+                    return
+                if allow_index and self.iface.index.value:
+                    self._pos.next = self.iface.pos.value % self.capacity
+                    self._done.next = 1
+                elif ((allow_read and self.iface.read.value)
+                      or (allow_write and self.iface.write.value)):
+                    if port.idle.value:
+                        do_write = allow_write and self.iface.write.value
+                        self._we.next = 1 if do_write else 0
+                        self._wdata.next = self.iface.wdata.value
+                        self._post_inc.next = (
+                            1 if (allow_inc and self.iface.inc.value) else 0)
+                        self._post_dec.next = (
+                            1 if (allow_dec and self.iface.dec.value) else 0)
+                        fsm.goto("ACCESS")
+                elif allow_inc and self.iface.inc.value:
+                    self._pos.next = (pos + 1) % self.capacity
+                    self._done.next = 1
+                elif allow_dec and self.iface.dec.value:
+                    self._pos.next = (pos - 1) % self.capacity
+                    self._done.next = 1
+            elif fsm.is_in("ACCESS"):
+                if port.done.value:
+                    self._data.next = port.rdata.value
+                    self._done.next = 1
+                    if self._post_inc.value:
+                        self._pos.next = (pos + 1) % self.capacity
+                    elif self._post_dec.value:
+                        self._pos.next = (pos - 1) % self.capacity
+                    fsm.goto("IDLE")
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """The committed value of the position register."""
+        return self._pos.value
+
+
+@register_iterator
+class VectorRandomIterator(_VectorIteratorBase):
+    """Random iterator: full Table-2 operation set (inc, dec, read, write, index)."""
+
+    traversal = "random"
+    readable = True
+    writable = True
+
+
+@register_iterator
+class VectorBidirectionalIterator(_VectorIteratorBase):
+    """Bidirectional iterator: inc, dec, read and write but no index operation."""
+
+    traversal = "bidirectional"
+    readable = True
+    writable = True
+
+
+@register_iterator
+class VectorForwardInputIterator(_VectorIteratorBase):
+    """Forward read-only traversal of a vector, starting at element 0."""
+
+    traversal = "forward"
+    readable = True
+    writable = False
+
+
+@register_iterator
+class VectorForwardOutputIterator(_VectorIteratorBase):
+    """Forward write-only traversal of a vector, starting at element 0."""
+
+    traversal = "forward"
+    readable = False
+    writable = True
+
+
+@register_iterator
+class VectorBackwardInputIterator(_VectorIteratorBase):
+    """Backward read-only traversal of a vector.
+
+    By default the position register starts at the last element so that a
+    sequence of ``read``/``dec`` operations walks the vector back to front.
+    """
+
+    traversal = "backward"
+    readable = True
+    writable = False
+
+    def __init__(self, name: str, container: Container, start: int = -1) -> None:
+        if start < 0:
+            start = container.capacity - 1
+        super().__init__(name, container, start=start)

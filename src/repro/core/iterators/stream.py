@@ -1,0 +1,131 @@
+"""Sequential (stream) iterators over buffer, queue and stack containers.
+
+These are the iterators of the revisited example (Section 3.3): "in fact
+they are no more than a wrapper that renames some signals and provides the
+common interface already mentioned".  Accordingly every class here is purely
+combinational wiring between the canonical :class:`IteratorIface` and the
+container's stream interface, is marked ``transparent`` and is charged zero
+resources by the synthesis estimator — the paper's "iterators ... will be
+dissolved at the time of synthesizing the design".
+
+Protocol recap (single-cycle, Mealy style):
+
+* input side: ``can_read`` mirrors the container's ``valid``; asserting
+  ``inc`` (optionally together with ``read``) while ``can_read`` is high
+  consumes the element whose value is combinationally present on ``rdata``.
+* output side: ``can_write`` mirrors the container's ``ready``; asserting
+  ``write`` and ``inc`` together while ``can_write`` is high stores
+  ``wdata`` and advances.
+"""
+
+from __future__ import annotations
+
+from ..container import Container
+from ..interfaces import IteratorIface, StreamSinkIface, StreamSourceIface
+from ..iterator import HardwareIterator, register_iterator
+
+
+class _StreamInputIteratorBase(HardwareIterator):
+    """Shared implementation of forward input iterators over stream sources."""
+
+    traversal = "forward"
+    readable = True
+    writable = False
+    transparent = True
+
+    def __init__(self, name: str, container: Container) -> None:
+        super().__init__(name, container)
+        source = self._source(container)
+        self.iface = IteratorIface(self, container.width, name=f"{name}_if")
+
+        @self.comb
+        def wrap() -> None:
+            self.iface.can_read.next = source.valid.value
+            self.iface.can_write.next = 0
+            self.iface.rdata.next = source.data.value
+            source.pop.next = self.iface.inc.value
+            self.iface.done.next = (
+                1 if (self.iface.inc.value and source.valid.value) else 0)
+
+    def _source(self, container: Container) -> StreamSourceIface:
+        return container.source  # type: ignore[attr-defined]
+
+
+class _StreamOutputIteratorBase(HardwareIterator):
+    """Shared implementation of forward output iterators over stream sinks."""
+
+    traversal = "forward"
+    readable = False
+    writable = True
+    transparent = True
+
+    #: Which iterator strobe triggers the advance: ``inc`` for forward
+    #: traversal, ``dec`` for the backward stack output iterator.
+    advance_op = "inc"
+
+    def __init__(self, name: str, container: Container) -> None:
+        super().__init__(name, container)
+        sink = self._sink(container)
+        self.iface = IteratorIface(self, container.width, name=f"{name}_if")
+
+        @self.comb
+        def wrap() -> None:
+            advance = getattr(self.iface, self.advance_op).value
+            self.iface.can_write.next = sink.ready.value
+            self.iface.can_read.next = 0
+            sink.data.next = self.iface.wdata.value
+            push = 1 if (self.iface.write.value and advance) else 0
+            sink.push.next = push
+            self.iface.done.next = 1 if (push and sink.ready.value) else 0
+
+    def _sink(self, container: Container) -> StreamSinkIface:
+        return container.sink  # type: ignore[attr-defined]
+
+
+@register_iterator
+class ReadBufferForwardIterator(_StreamInputIteratorBase):
+    """Forward input iterator over a read buffer (``rbuffer_it`` in Figure 3)."""
+
+    container_kind = "read_buffer"
+
+
+@register_iterator
+class WriteBufferForwardIterator(_StreamOutputIteratorBase):
+    """Forward output iterator over a write buffer (``wbuffer_it`` in Figure 3)."""
+
+    container_kind = "write_buffer"
+
+
+@register_iterator
+class QueueForwardInputIterator(_StreamInputIteratorBase):
+    """Forward input (consumer) iterator over a queue."""
+
+    container_kind = "queue"
+
+
+@register_iterator
+class QueueForwardOutputIterator(_StreamOutputIteratorBase):
+    """Forward output (producer) iterator over a queue."""
+
+    container_kind = "queue"
+
+
+@register_iterator
+class StackForwardInputIterator(_StreamInputIteratorBase):
+    """Forward input iterator over a stack: pops elements most-recent first."""
+
+    container_kind = "stack"
+
+
+@register_iterator
+class StackBackwardOutputIterator(_StreamOutputIteratorBase):
+    """Backward output iterator over a stack.
+
+    Table 1 classifies the stack's sequential output traversal as backward:
+    elements written through this iterator come back out of the container in
+    reverse order.  The advance strobe is therefore ``dec``.
+    """
+
+    container_kind = "stack"
+    traversal = "backward"
+    advance_op = "dec"

@@ -1,0 +1,54 @@
+"""Window iterator over the 3-line-buffer read buffer.
+
+The blur example needs "specialized iterators" (Section 5): this one exposes,
+for every forward step, the vertical column of three pixels delivered by the
+:class:`~repro.core.containers.read_buffer.ReadBufferLine3` binding.  It is
+still a pure renaming wrapper — all the buffering lives in the container — so
+it remains transparent to the synthesis estimator.
+"""
+
+from __future__ import annotations
+
+from ..container import Container
+from ..interfaces import WindowIteratorIface
+from ..iterator import HardwareIterator, IteratorError, register_iterator
+
+
+@register_iterator
+class Line3WindowIterator(HardwareIterator):
+    """Forward input iterator delivering 3-pixel vertical columns.
+
+    In addition to the canonical interface, ``iface.rdata_top``,
+    ``iface.rdata_mid`` and ``iface.rdata_bot`` carry the column; ``rdata``
+    aliases the centre pixel so ordinary single-pixel algorithms also work.
+    """
+
+    container_kind = "read_buffer"
+    traversal = "window"
+    readable = True
+    writable = False
+    transparent = True
+
+    def __init__(self, name: str, container: Container) -> None:
+        super().__init__(name, container)
+        window = getattr(container, "window", None)
+        if window is None:
+            raise IteratorError(
+                f"container {container.name!r} has no window interface; "
+                f"a window iterator requires the 'linebuffer3' binding")
+        self.window = window
+        self.iface = WindowIteratorIface(
+            self, container.width, pos_width=window.x_width, name=f"{name}_if")
+
+        @self.comb
+        def wrap() -> None:
+            self.iface.can_read.next = window.valid.value
+            self.iface.can_write.next = 0
+            self.iface.rdata_top.next = window.col_top.value
+            self.iface.rdata_mid.next = window.col_mid.value
+            self.iface.rdata_bot.next = window.col_bot.value
+            self.iface.rdata.next = window.col_mid.value
+            self.iface.pos.next = window.x.value
+            window.pop.next = self.iface.inc.value
+            self.iface.done.next = (
+                1 if (self.iface.inc.value and window.valid.value) else 0)

@@ -1,0 +1,26 @@
+"""The evaluated designs of Table 3, in pattern-based and hand-written form.
+
+* ``saa2vga`` — stream copy between a read buffer and a write buffer, with a
+  FIFO binding (row 1) or an external-SRAM binding (row 2);
+* ``blur`` — 3x3 box filter over a 3-line-buffer read buffer (row 3).
+
+:mod:`repro.designs.system` provides the common harness that drives any of
+them with synthetic video frames.
+"""
+
+from .blur import BlurPatternDesign, build_blur_pattern
+from .custom import BlurCustomDesign, Saa2VgaCustomFIFO, Saa2VgaCustomSRAM
+from .saa2vga import Saa2VgaPatternDesign, build_saa2vga_pattern
+from .system import VideoSystem, run_stream_through
+
+__all__ = [
+    "Saa2VgaPatternDesign",
+    "build_saa2vga_pattern",
+    "BlurPatternDesign",
+    "build_blur_pattern",
+    "Saa2VgaCustomFIFO",
+    "Saa2VgaCustomSRAM",
+    "BlurCustomDesign",
+    "VideoSystem",
+    "run_stream_through",
+]

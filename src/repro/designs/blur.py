@@ -1,0 +1,86 @@
+"""Pattern-based blur design (Table 3, row ``blur``).
+
+"We have implemented a blur filter that processes an image coming from the
+video decoder and sends it to a VGA coder.  The rbuffer container, instead of
+a simple FIFO has been mapped over a special one ... a 3-line buffer
+structured to provide 3 pixels in a column for each access."
+
+The model is the same as the saa2vga designs — read buffer, write buffer,
+iterators, algorithm — with two substitutions expressed purely through the
+pattern library: the read buffer uses the ``linebuffer3`` binding and the
+algorithm is the 3x3 blur instead of the copy.
+"""
+
+from __future__ import annotations
+
+from ..core import BlurAlgorithm, make_container, make_iterator
+from ..rtl import Component
+
+
+class BlurPatternDesign(Component):
+    """3x3 blur video pipeline built from the pattern library.
+
+    Parameters
+    ----------
+    line_width:
+        Width of the video lines in pixels (the 3-line buffer is sized to it).
+    width:
+        Pixel width in bits.
+    out_capacity:
+        Capacity of the output write buffer.
+    out_binding:
+        Binding of the output write buffer (FIFO by default, as in the paper).
+    """
+
+    style = "pattern"
+
+    def __init__(self, name: str = "blur", line_width: int = 64, width: int = 8,
+                 out_capacity: int = 64, out_binding: str = "fifo") -> None:
+        super().__init__(name)
+        self.binding = "linebuffer3"
+        self.line_width = line_width
+        self.width = width
+
+        # Containers: the special 3-line read buffer and an ordinary write buffer.
+        self.rbuffer = self.child(make_container(
+            "read_buffer", "linebuffer3", "rbuffer",
+            width=width, line_width=line_width))
+        self.wbuffer = self.child(make_container(
+            "write_buffer", out_binding, "wbuffer",
+            width=width, capacity=out_capacity))
+
+        # Iterators: a specialised window iterator and a plain output iterator.
+        self.rbuffer_it = self.child(make_iterator(
+            self.rbuffer, "window", readable=True, name="rbuffer_it"))
+        self.wbuffer_it = self.child(make_iterator(
+            self.wbuffer, "forward", writable=True, name="wbuffer_it"))
+
+        # The blur algorithm still sees only iterator interfaces.
+        self.algorithm = self.child(BlurAlgorithm(
+            "blur_alg", self.rbuffer_it, self.wbuffer_it, line_width=line_width))
+
+        self.input_fill = self.rbuffer.fill
+        self.output_drain = self.wbuffer.drain
+
+    @property
+    def pixels_processed(self) -> int:
+        """Number of filtered output pixels produced so far."""
+        return self.algorithm.elements_processed
+
+    def describe(self) -> dict:
+        """Structural summary used by examples and the experiment reports."""
+        return {
+            "design": self.name,
+            "style": self.style,
+            "binding": self.binding,
+            "containers": [self.rbuffer.path(), self.wbuffer.path()],
+            "iterators": [self.rbuffer_it.path(), self.wbuffer_it.path()],
+            "algorithm": self.algorithm.path(),
+        }
+
+
+def build_blur_pattern(line_width: int, width: int = 8,
+                       out_capacity: int = 64) -> BlurPatternDesign:
+    """Convenience factory mirroring the bench/ example call sites."""
+    return BlurPatternDesign(name="blur_pattern", line_width=line_width,
+                             width=width, out_capacity=out_capacity)

@@ -1,0 +1,10 @@
+"""Hand-written (ad-hoc) baseline designs used as the comparison points of Table 3."""
+
+from .blur_custom import BlurCustomDesign
+from .saa2vga_custom import Saa2VgaCustomFIFO, Saa2VgaCustomSRAM
+
+__all__ = [
+    "Saa2VgaCustomFIFO",
+    "Saa2VgaCustomSRAM",
+    "BlurCustomDesign",
+]

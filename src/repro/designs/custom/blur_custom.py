@@ -1,0 +1,122 @@
+"""Ad-hoc (custom) blur baseline.
+
+The hand-written counterpart of the pattern-based blur design: the same
+3-line buffer and output FIFO devices, but with the window management, the
+column history, the horizontal position counter and the device handshakes
+all folded into one component that manipulates the device ports directly.
+Functionally it produces the exact same pixel stream as the pattern design,
+which is what lets Table 3 compare their resource usage one-to-one.
+"""
+
+from __future__ import annotations
+
+from ...core.algorithms.blur import blur_kernel
+from ...core.interfaces import StreamSinkIface, StreamSourceIface
+from ...primitives import LineBuffer3, SyncFIFO
+from ...rtl import Component, clog2
+
+
+class BlurCustomDesign(Component):
+    """Hand-written 3x3 blur over a 3-line buffer and an output FIFO."""
+
+    style = "custom"
+    binding = "linebuffer3"
+
+    #: Same datapath cost hint as the pattern-based algorithm (the adder tree
+    #: and the divide-by-nine constant multiplier are identical logic).
+    logic_cost_luts = 96
+
+    def __init__(self, name: str = "blur_custom", line_width: int = 64,
+                 width: int = 8, out_capacity: int = 64) -> None:
+        super().__init__(name)
+        if line_width < 3:
+            raise ValueError(f"line width must be >= 3, got {line_width}")
+        self.line_width = line_width
+        self.width = width
+
+        self.linebuf = self.child(LineBuffer3(
+            f"{name}_lb3", line_width=line_width, width=width))
+        self.out_fifo = self.child(SyncFIFO(
+            f"{name}_out_fifo", depth=out_capacity, width=width))
+
+        self.input_fill = StreamSinkIface(self, width, name=f"{name}_input")
+        self.output_drain = StreamSourceIface(self, width, name=f"{name}_output")
+
+        # Input holding register (decouples the pixel source from the filter).
+        self._hold = self.state(width, name=f"{name}_hold")
+        self._hold_valid = self.state(1, name=f"{name}_hold_valid")
+        # Column history for the two previous columns of the window.
+        self._hist = [
+            [self.state(width, name=f"{name}_c{col}_{row}") for row in range(3)]
+            for col in range(2)
+        ]
+        self._x = self.state(clog2(max(2, line_width)), name=f"{name}_x")
+        self.count = self.state(32, name=f"{name}_count")
+
+        @self.comb
+        def glue() -> None:
+            hold_valid = self._hold_valid.value
+            warmed_up = self.linebuf.window_valid.value
+            x = self._x.value
+            emit_needed = x >= 2
+
+            # Decide whether the held pixel advances the line buffer this cycle.
+            room = not self.out_fifo.full.value
+            consume = hold_valid and (not warmed_up or not emit_needed or room)
+
+            # Environment handshake for the incoming pixel stream: pass-through
+            # acceptance sustains one pixel per clock, like the pattern version.
+            self.input_fill.ready.next = 1 if (not hold_valid or consume) else 0
+            self.linebuf.din.next = self._hold.value
+            self.linebuf.push.next = 1 if consume else 0
+
+            # Blur datapath: the two stored columns plus the incoming column.
+            window = [reg.value for col in self._hist for reg in col]
+            window += [self.linebuf.col_top.value, self.linebuf.col_mid.value,
+                       self.linebuf.col_bot.value]
+            emit = consume and warmed_up and emit_needed
+            self.out_fifo.din.next = blur_kernel(window)
+            self.out_fifo.push.next = 1 if emit else 0
+
+            # Environment handshake for the outgoing pixel stream.
+            self.output_drain.data.next = self.out_fifo.dout.value
+            self.output_drain.valid.next = 0 if self.out_fifo.empty.value else 1
+            self.out_fifo.pop.next = self.output_drain.pop.value
+
+        @self.seq
+        def control() -> None:
+            hold_valid = self._hold_valid.value
+            warmed_up = self.linebuf.window_valid.value
+            x = self._x.value
+            emit_needed = x >= 2
+            room = not self.out_fifo.full.value
+            consume = hold_valid and (not warmed_up or not emit_needed or room)
+            accepted = self.input_fill.push.value and (not hold_valid or consume)
+
+            if accepted:
+                self._hold.next = self.input_fill.data.value
+                self._hold_valid.next = 1
+            elif consume:
+                self._hold_valid.next = 0
+            if consume:
+                if warmed_up:
+                    # Shift the column history and advance the position counter.
+                    for row in range(3):
+                        self._hist[0][row].next = self._hist[1][row].value
+                    self._hist[1][0].next = self.linebuf.col_top.value
+                    self._hist[1][1].next = self.linebuf.col_mid.value
+                    self._hist[1][2].next = self.linebuf.col_bot.value
+                    if x + 1 >= self.line_width:
+                        self._x.next = 0
+                    else:
+                        self._x.next = x + 1
+                    if emit_needed:
+                        self.count.next = self.count.value + 1
+
+    @property
+    def pixels_processed(self) -> int:
+        """Number of filtered output pixels produced."""
+        return self.count.value
+
+    def describe(self) -> dict:
+        return {"design": self.name, "style": self.style, "binding": self.binding}

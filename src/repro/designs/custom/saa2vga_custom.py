@@ -1,0 +1,218 @@
+"""Ad-hoc (custom) saa2vga baselines.
+
+These are the hand-written implementations the paper compares against in
+Table 3: the same stream-copy function, but with "the coupling between
+algorithms, data structures and hardware interface handling" that the pattern
+removes.  The FIFO variant drives the FIFO core signals directly; the SRAM
+variant re-implements, by hand and twice, the circular-buffer pointer
+management that the generated containers encapsulate — which is exactly the
+modification burden Section 2 complains about.
+
+Both expose the same environment-facing interfaces (``input_fill`` /
+``output_drain``) as the pattern designs so that the identical test benches,
+video sources and sinks can drive either implementation.
+"""
+
+from __future__ import annotations
+
+from ...core.interfaces import StreamSinkIface, StreamSourceIface
+from ...primitives import AsyncSRAM, SyncFIFO
+from ...rtl import FSM, Component, clog2
+
+
+class Saa2VgaCustomFIFO(Component):
+    """Hand-written stream copy over two FIFO cores (baseline for ``saa2vga 1``)."""
+
+    style = "custom"
+    binding = "fifo"
+
+    def __init__(self, name: str = "saa2vga_custom_fifo", width: int = 8,
+                 capacity: int = 64) -> None:
+        super().__init__(name)
+        self.width = width
+        self.capacity = capacity
+
+        self.in_fifo = self.child(SyncFIFO(f"{name}_in_fifo", depth=capacity,
+                                           width=width))
+        self.out_fifo = self.child(SyncFIFO(f"{name}_out_fifo", depth=capacity,
+                                            width=width))
+
+        self.input_fill = StreamSinkIface(self, width, name=f"{name}_input")
+        self.output_drain = StreamSourceIface(self, width, name=f"{name}_output")
+
+        # Frame-synchronisation pixel counter (same observability the
+        # pattern-based algorithm keeps).
+        self.count = self.state(32, name=f"{name}_count")
+
+        @self.comb
+        def glue() -> None:
+            # Environment side, wired directly to the FIFO cores.
+            self.in_fifo.din.next = self.input_fill.data.value
+            self.in_fifo.push.next = self.input_fill.push.value
+            self.input_fill.ready.next = 0 if self.in_fifo.full.value else 1
+            self.output_drain.data.next = self.out_fifo.dout.value
+            self.output_drain.valid.next = 0 if self.out_fifo.empty.value else 1
+            self.out_fifo.pop.next = self.output_drain.pop.value
+            # The copy "algorithm": direct FIFO-to-FIFO transfer, one pixel per
+            # cycle whenever the input has data and the output has room.
+            transfer = (not self.in_fifo.empty.value
+                        and not self.out_fifo.full.value)
+            strobe = 1 if transfer else 0
+            self.in_fifo.pop.next = strobe
+            self.out_fifo.push.next = strobe
+            self.out_fifo.din.next = self.in_fifo.dout.value
+
+        @self.seq
+        def account() -> None:
+            if not self.in_fifo.empty.value and not self.out_fifo.full.value:
+                self.count.next = self.count.value + 1
+
+    @property
+    def pixels_processed(self) -> int:
+        """Number of pixels moved from the input FIFO to the output FIFO."""
+        return self.count.value
+
+    def describe(self) -> dict:
+        return {"design": self.name, "style": self.style, "binding": self.binding}
+
+
+class Saa2VgaCustomSRAM(Component):
+    """Hand-written stream copy over two external SRAMs (baseline for ``saa2vga 2``).
+
+    The input stream is staged in a circular buffer in the first SRAM and the
+    output stream in a second circular buffer in the second SRAM, with all
+    four pointers, both holding registers and both access FSMs written by
+    hand — the "radical change" in implementation the paper's motivating
+    example describes when the sequential buffer is replaced by a RAM.
+    """
+
+    style = "custom"
+    binding = "sram"
+
+    def __init__(self, name: str = "saa2vga_custom_sram", width: int = 8,
+                 capacity: int = 64, sram_latency: int = 2) -> None:
+        super().__init__(name)
+        self.width = width
+        self.capacity = capacity
+
+        self.in_sram = self.child(AsyncSRAM(f"{name}_in_sram", depth=capacity,
+                                            width=width, latency=sram_latency))
+        self.out_sram = self.child(AsyncSRAM(f"{name}_out_sram", depth=capacity,
+                                             width=width, latency=sram_latency))
+
+        self.input_fill = StreamSinkIface(self, width, name=f"{name}_input")
+        self.output_drain = StreamSourceIface(self, width, name=f"{name}_output")
+
+        ptr = clog2(capacity)
+        cnt = clog2(capacity + 1)
+
+        # Input-side circular buffer state.
+        self._in_head = self.state(ptr, name=f"{name}_in_head")
+        self._in_tail = self.state(ptr, name=f"{name}_in_tail")
+        self._in_count = self.state(cnt, name=f"{name}_in_count")
+        self._in_hold = self.state(width, name=f"{name}_in_hold")
+        self._in_hold_valid = self.state(1, name=f"{name}_in_hold_valid")
+        # Pixel register carrying data from the input buffer to the output buffer.
+        self._copy_reg = self.state(width, name=f"{name}_copy_reg")
+        self._copy_valid = self.state(1, name=f"{name}_copy_valid")
+        # Output-side circular buffer state.
+        self._out_head = self.state(ptr, name=f"{name}_out_head")
+        self._out_tail = self.state(ptr, name=f"{name}_out_tail")
+        self._out_count = self.state(cnt, name=f"{name}_out_count")
+        self._out_pref = self.state(width, name=f"{name}_out_pref")
+        self._out_pref_valid = self.state(1, name=f"{name}_out_pref_valid")
+
+        self.count = self.state(32, name=f"{name}_count")
+
+        self._in_fsm = FSM(self, ["IDLE", "WRITE", "READ", "RELEASE"],
+                           name=f"{name}_in_ctrl")
+        self._out_fsm = FSM(self, ["IDLE", "WRITE", "READ", "RELEASE"],
+                            name=f"{name}_out_ctrl")
+
+        @self.comb
+        def handshake() -> None:
+            self.input_fill.ready.next = 0 if self._in_hold_valid.value else 1
+            self.output_drain.valid.next = self._out_pref_valid.value
+            self.output_drain.data.next = self._out_pref.value
+
+        @self.seq
+        def input_side() -> None:
+            fsm = self._in_fsm
+            if self.input_fill.push.value and not self._in_hold_valid.value:
+                self._in_hold.next = self.input_fill.data.value
+                self._in_hold_valid.next = 1
+            if fsm.is_in("IDLE"):
+                if self._in_hold_valid.value and self._in_count.value < self.capacity:
+                    self.in_sram.addr.next = self._in_tail.value
+                    self.in_sram.wdata.next = self._in_hold.value
+                    self.in_sram.we.next = 1
+                    self.in_sram.req.next = 1
+                    fsm.goto("WRITE")
+                elif self._in_count.value > 0 and not self._copy_valid.value:
+                    self.in_sram.addr.next = self._in_head.value
+                    self.in_sram.we.next = 0
+                    self.in_sram.req.next = 1
+                    fsm.goto("READ")
+            elif fsm.is_in("WRITE"):
+                if self.in_sram.ack.value:
+                    self._in_tail.next = (self._in_tail.value + 1) % self.capacity
+                    self._in_count.next = self._in_count.value + 1
+                    self._in_hold_valid.next = 0
+                    self.in_sram.req.next = 0
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("READ"):
+                if self.in_sram.ack.value:
+                    self._copy_reg.next = self.in_sram.rdata.value
+                    self._copy_valid.next = 1
+                    self._in_head.next = (self._in_head.value + 1) % self.capacity
+                    self._in_count.next = self._in_count.value - 1
+                    self.in_sram.req.next = 0
+                    self.count.next = self.count.value + 1
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("RELEASE"):
+                if not self.in_sram.ack.value:
+                    fsm.goto("IDLE")
+
+        @self.seq
+        def output_side() -> None:
+            fsm = self._out_fsm
+            if self.output_drain.pop.value and self._out_pref_valid.value:
+                self._out_pref_valid.next = 0
+            if fsm.is_in("IDLE"):
+                if self._copy_valid.value and self._out_count.value < self.capacity:
+                    self.out_sram.addr.next = self._out_tail.value
+                    self.out_sram.wdata.next = self._copy_reg.value
+                    self.out_sram.we.next = 1
+                    self.out_sram.req.next = 1
+                    fsm.goto("WRITE")
+                elif self._out_count.value > 0 and not self._out_pref_valid.value:
+                    self.out_sram.addr.next = self._out_head.value
+                    self.out_sram.we.next = 0
+                    self.out_sram.req.next = 1
+                    fsm.goto("READ")
+            elif fsm.is_in("WRITE"):
+                if self.out_sram.ack.value:
+                    self._out_tail.next = (self._out_tail.value + 1) % self.capacity
+                    self._out_count.next = self._out_count.value + 1
+                    self._copy_valid.next = 0
+                    self.out_sram.req.next = 0
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("READ"):
+                if self.out_sram.ack.value:
+                    self._out_pref.next = self.out_sram.rdata.value
+                    self._out_pref_valid.next = 1
+                    self._out_head.next = (self._out_head.value + 1) % self.capacity
+                    self._out_count.next = self._out_count.value - 1
+                    self.out_sram.req.next = 0
+                    fsm.goto("RELEASE")
+            elif fsm.is_in("RELEASE"):
+                if not self.out_sram.ack.value:
+                    fsm.goto("IDLE")
+
+    @property
+    def pixels_processed(self) -> int:
+        """Number of pixels read out of the input buffer by the copy logic."""
+        return self.count.value
+
+    def describe(self) -> dict:
+        return {"design": self.name, "style": self.style, "binding": self.binding}

@@ -1,0 +1,74 @@
+"""Metaprogramming subsystem: metamodels and the VHDL code generator (Section 3.4).
+
+Generates customised VHDL containers and iterators from metamodels (operation
+pruning, width adaptation, arbitration for shared resources, protocol
+selection) and provides simulatable width-adaptation components so the
+pixel-format scenarios of Section 3.3 can be exercised end to end.
+"""
+
+from .arbiter_gen import SharedSRAM, SRAMClientPort, generate_arbiter_vhdl
+from .generator import (
+    CodeGenerator,
+    GeneratedComponent,
+    figure4_rbuffer_fifo,
+    figure5_rbuffer_sram,
+)
+from .metamodel import (
+    CONTAINER_METAMODELS,
+    ITERATOR_METAMODELS,
+    BindingSpec,
+    ContainerMetamodel,
+    GenerationConfig,
+    ImplementationPort,
+    IteratorMetamodel,
+    Operation,
+    OperationParam,
+)
+from .protocol import (
+    PROTOCOLS,
+    REQ_ACK,
+    STROBE,
+    STROBE_DONE,
+    VALID_READY,
+    ProtocolSpec,
+    protocol_for_binding,
+    select_protocol,
+)
+from .vhdl import Architecture, Entity, Generic, Port, VHDLFile, check_balanced
+from .width_adapter import WidthAdaptationPlan, WidthDownConverter, WidthUpConverter
+
+__all__ = [
+    "ContainerMetamodel",
+    "IteratorMetamodel",
+    "Operation",
+    "OperationParam",
+    "BindingSpec",
+    "ImplementationPort",
+    "GenerationConfig",
+    "CONTAINER_METAMODELS",
+    "ITERATOR_METAMODELS",
+    "CodeGenerator",
+    "GeneratedComponent",
+    "figure4_rbuffer_fifo",
+    "figure5_rbuffer_sram",
+    "Entity",
+    "Architecture",
+    "Port",
+    "Generic",
+    "VHDLFile",
+    "check_balanced",
+    "WidthAdaptationPlan",
+    "WidthDownConverter",
+    "WidthUpConverter",
+    "SharedSRAM",
+    "SRAMClientPort",
+    "generate_arbiter_vhdl",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "STROBE",
+    "VALID_READY",
+    "REQ_ACK",
+    "STROBE_DONE",
+    "select_protocol",
+    "protocol_for_binding",
+]

@@ -1,0 +1,186 @@
+"""Arbitration generation for shared physical resources.
+
+"Metaprogramming provides a number of additional benefits.  It allows
+automatic generation of arbitration logic for shared physical resources
+(e.g. RAM)."
+
+Two artefacts are produced:
+
+* :class:`SharedSRAM` — a simulatable component multiplexing several
+  req/ack-style clients onto one external SRAM through a round-robin
+  arbiter, so a design can place, for example, both the input and the output
+  circular buffers of the saa2vga SRAM variant in a single memory bank;
+* :func:`generate_arbiter_vhdl` — the equivalent generated VHDL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..primitives import AsyncSRAM, RoundRobinArbiter
+from ..rtl import Component, SignalBundle, clog2
+from .vhdl import IN, OUT, Architecture, Entity, Port, VHDLFile, std_logic, std_logic_vector
+
+
+class SRAMClientPort(SignalBundle):
+    """One client-side access port of a :class:`SharedSRAM`.
+
+    Clients follow the same req/ack protocol as a private
+    :class:`~repro.primitives.sram.AsyncSRAM`: drive ``addr``/``wdata``/``we``,
+    raise ``req``, wait for ``ack``, capture ``rdata``, drop ``req``.
+    """
+
+    def __init__(self, owner: Component, addr_width: int, width: int,
+                 name: str) -> None:
+        super().__init__(
+            name,
+            addr=owner.signal(addr_width, name=f"{name}_addr"),
+            wdata=owner.signal(width, name=f"{name}_wdata"),
+            we=owner.signal(1, name=f"{name}_we"),
+            req=owner.signal(1, name=f"{name}_req"),
+            ack=owner.signal(1, name=f"{name}_ack"),
+            rdata=owner.signal(width, name=f"{name}_rdata"),
+        )
+        self.addr_width = addr_width
+        self.width = width
+
+
+class SharedSRAM(Component):
+    """One external SRAM shared by several clients through a generated arbiter.
+
+    Parameters
+    ----------
+    num_clients:
+        Number of client ports to generate.
+    depth, width, latency:
+        Geometry and access latency of the underlying SRAM.
+    """
+
+    def __init__(self, name: str, num_clients: int, depth: int, width: int,
+                 latency: int = 2) -> None:
+        super().__init__(name)
+        if num_clients < 1:
+            raise ValueError("SharedSRAM needs at least one client")
+        self.num_clients = num_clients
+        self.sram = self.child(AsyncSRAM(f"{name}_sram", depth=depth, width=width,
+                                         latency=latency))
+        self.arbiter = self.child(RoundRobinArbiter(f"{name}_arb", num_clients))
+        addr_width = clog2(depth)
+        self.clients: List[SRAMClientPort] = [
+            SRAMClientPort(self, addr_width, width, name=f"{name}_client{i}")
+            for i in range(num_clients)
+        ]
+
+        # Transaction lock: once a client's request has been forwarded to the
+        # SRAM, it stays the owner until the four-phase handshake completes
+        # (request dropped and acknowledge released).  Without it, a grant
+        # rotation while ``ack`` is still high would hand stale data to the
+        # next client.
+        self._lock_valid = self.state(1, name=f"{name}_lock_valid")
+        self._lock_index = self.state(max(1, clog2(max(2, num_clients))),
+                                      name=f"{name}_lock_index")
+
+        def current_owner() -> int:
+            if self._lock_valid.value:
+                return self._lock_index.value
+            for i in range(self.num_clients):
+                if self.arbiter.grants[i].value:
+                    return i
+            return -1
+
+        @self.comb
+        def interconnect() -> None:
+            # Requests feed the arbiter.
+            for i, client in enumerate(self.clients):
+                self.arbiter.requests[i].next = client.req.value
+            granted = current_owner()
+            # The owning client drives the SRAM port; everyone else sees ack low.
+            if granted >= 0:
+                owner = self.clients[granted]
+                self.sram.addr.next = owner.addr.value
+                self.sram.wdata.next = owner.wdata.value
+                self.sram.we.next = owner.we.value
+                self.sram.req.next = owner.req.value
+            else:
+                self.sram.req.next = 0
+                self.sram.we.next = 0
+            for i, client in enumerate(self.clients):
+                is_owner = i == granted
+                client.ack.next = self.sram.ack.value if is_owner else 0
+                client.rdata.next = self.sram.rdata.value
+
+        @self.seq
+        def lock_control() -> None:
+            if not self._lock_valid.value:
+                owner = current_owner()
+                if owner >= 0 and self.clients[owner].req.value:
+                    self._lock_valid.next = 1
+                    self._lock_index.next = owner
+            else:
+                owner = self._lock_index.value
+                if (not self.clients[owner].req.value
+                        and not self.sram.ack.value):
+                    self._lock_valid.next = 0
+
+    # -- introspection -----------------------------------------------------------------
+
+    def granted_client(self) -> int:
+        """Index of the client currently granted, or -1 when idle."""
+        return self.arbiter.granted()
+
+
+def generate_arbiter_vhdl(num_clients: int, addr_width: int, data_width: int,
+                          name: str = "sram_arbiter") -> VHDLFile:
+    """Emit the VHDL equivalent of :class:`SharedSRAM`'s arbitration logic."""
+    entity = Entity(name=name)
+    client_ports: List[Port] = []
+    for i in range(num_clients):
+        client_ports.extend([
+            Port(f"c{i}_addr", IN, std_logic_vector(addr_width)),
+            Port(f"c{i}_wdata", IN, std_logic_vector(data_width)),
+            Port(f"c{i}_we", IN, std_logic()),
+            Port(f"c{i}_req", IN, std_logic()),
+            Port(f"c{i}_ack", OUT, std_logic()),
+            Port(f"c{i}_rdata", OUT, std_logic_vector(data_width)),
+        ])
+    entity.add_group("clock and reset",
+                     [Port("clk", IN, std_logic()), Port("rst", IN, std_logic())])
+    entity.add_group("client ports", client_ports)
+    entity.add_group("memory interface", [
+        Port("p_addr", OUT, std_logic_vector(addr_width)),
+        Port("p_data", IN, std_logic_vector(data_width)),
+        Port("p_wdata", OUT, std_logic_vector(data_width)),
+        Port("p_we", OUT, std_logic()),
+        Port("req", OUT, std_logic()),
+        Port("ack", IN, std_logic()),
+    ])
+
+    arch = Architecture(name="generated", entity=entity)
+    arch.declare_signal("grant", std_logic_vector(max(1, clog2(max(2, num_clients)))))
+    arch.declare_signal("grant_locked", std_logic())
+    mux_lines = ["with grant select p_addr <="]
+    for i in range(num_clients):
+        mux_lines.append(f"  c{i}_addr when \"{i:0{max(1, clog2(max(2, num_clients)))}b}\",")
+    mux_lines.append("  (others => '0') when others;")
+    arch.add("\n".join(mux_lines))
+    arch.add("-- round-robin pointer rotates past the last granted client")
+    rotate = [
+        "rotate: process(clk)",
+        "begin",
+        "  if rising_edge(clk) then",
+        "    if rst = '1' then",
+        "      grant <= (others => '0');",
+        "    elsif ack = '1' then",
+        "      grant <= std_logic_vector(unsigned(grant) + 1);",
+        "    end if;",
+        "  end if;",
+        "end process;",
+    ]
+    arch.add("\n".join(rotate))
+    for i in range(num_clients):
+        arch.add(f"c{i}_ack <= ack when unsigned(grant) = {i} else '0';")
+        arch.add(f"c{i}_rdata <= p_data;")
+
+    header = (f"Generated arbitration logic: {num_clients} clients sharing one "
+              f"external SRAM (round-robin)")
+    return VHDLFile(entity=entity, architecture=arch, header_comment=header)

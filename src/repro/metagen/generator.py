@@ -1,0 +1,279 @@
+"""The metaprogramming code generator.
+
+Consumes a container or iterator metamodel plus a :class:`GenerationConfig`
+and produces a customised VHDL component, applying the transformations the
+paper attributes to the generator:
+
+* **operation pruning** — "including only those resources that are really
+  used by the selected operations";
+* **width adaptation** — splitting wide elements into several physical
+  transfers when the bus is narrower than the element;
+* **arbitration** — emitting shared-resource arbitration when the physical
+  device is shared (delegated to :mod:`repro.metagen.arbiter_gen`);
+* **protocol selection** — choosing the inter-component protocol from the
+  binding's timing behaviour (:mod:`repro.metagen.protocol`).
+
+The functions :func:`figure4_rbuffer_fifo` and :func:`figure5_rbuffer_sram`
+regenerate the two concrete entities printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rtl import clog2
+from .arbiter_gen import generate_arbiter_vhdl
+from .metamodel import (
+    CONTAINER_METAMODELS,
+    ITERATOR_METAMODELS,
+    ContainerMetamodel,
+    GenerationConfig,
+    IteratorMetamodel,
+    Operation,
+)
+from .protocol import ProtocolSpec, protocol_for_binding
+from .templates import TEMPLATES
+from .vhdl import IN, OUT, Architecture, Entity, Port, VHDLFile, std_logic, std_logic_vector
+from .width_adapter import WidthAdaptationPlan
+
+
+@dataclass
+class GeneratedComponent:
+    """The result of one generation run."""
+
+    vhdl: VHDLFile
+    config: GenerationConfig
+    operations: List[str]
+    protocol: ProtocolSpec
+    width_plan: WidthAdaptationPlan
+    extra_files: List[VHDLFile] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.vhdl.name
+
+    def emit(self) -> str:
+        return self.vhdl.emit()
+
+    def all_files(self) -> List[VHDLFile]:
+        return [self.vhdl] + list(self.extra_files)
+
+
+class CodeGenerator:
+    """Generate VHDL for containers and iterators from their metamodels."""
+
+    def __init__(self,
+                 container_metamodels: Optional[Dict[str, ContainerMetamodel]] = None,
+                 iterator_metamodels: Optional[Dict[str, IteratorMetamodel]] = None) -> None:
+        self.container_metamodels = dict(container_metamodels or CONTAINER_METAMODELS)
+        self.iterator_metamodels = dict(iterator_metamodels or ITERATOR_METAMODELS)
+
+    # -- port construction helpers ------------------------------------------------------
+
+    def _param_width(self, width: Optional[int], config: GenerationConfig) -> int:
+        bus = config.effective_bus_width()
+        return bus if width is None else width
+
+    def _method_ports(self, operations: List[Operation],
+                      config: GenerationConfig) -> List[Port]:
+        """Method strobes of the functional interface (``m_pop``, ``m_push`` ...)."""
+        ports: List[Port] = []
+        for op in operations:
+            ports.append(Port(f"m_{op.name}", IN, std_logic(),
+                              comment=op.description))
+        return ports
+
+    def _param_ports(self, operations: List[Operation],
+                     config: GenerationConfig) -> List[Port]:
+        """Data/status parameters of the functional interface, plus ``done``."""
+        ports: List[Port] = []
+        seen = set()
+        needs_done = False
+        for op in operations:
+            for param in op.params:
+                if param.name in seen:
+                    continue
+                seen.add(param.name)
+                width = self._param_width(param.width, config)
+                vhdl_type = std_logic() if width == 1 else std_logic_vector(width)
+                direction = OUT if param.direction == "out" else IN
+                ports.append(Port(param.name, direction, vhdl_type))
+            needs_done = needs_done or op.has_done
+        if needs_done:
+            ports.append(Port("done", OUT, std_logic()))
+        return ports
+
+    def _implementation_ports(self, metamodel: ContainerMetamodel,
+                              config: GenerationConfig) -> List[Port]:
+        """The ``p_*`` ports talking to the physical device (Figure 4/5)."""
+        binding = metamodel.get_binding(config.binding)
+        ports: List[Port] = []
+        for impl_port in binding.implementation_ports:
+            if impl_port.is_address:
+                width = max(1, clog2(max(2, config.depth * config.beats_per_element())))
+            elif impl_port.width is None:
+                width = config.effective_bus_width()
+            else:
+                width = impl_port.width
+            vhdl_type = std_logic() if width == 1 else std_logic_vector(width)
+            direction = {"in": IN, "out": OUT}.get(impl_port.direction,
+                                                   impl_port.direction)
+            ports.append(Port(impl_port.name, direction, vhdl_type))
+        return ports
+
+    # -- container generation -------------------------------------------------------------
+
+    def generate_container(self, kind: str, config: GenerationConfig) -> GeneratedComponent:
+        """Generate the VHDL entity + architecture of one container instance."""
+        metamodel = self.container_metamodels[kind]
+        binding = metamodel.get_binding(config.binding)
+        operations = metamodel.select_operations(config)
+        op_names = [op.name for op in operations]
+        plan = WidthAdaptationPlan(config.data_width, config.effective_bus_width())
+        protocol = protocol_for_binding(config.binding)
+
+        entity = Entity(name=config.name)
+        entity.add_group("methods", self._method_ports(operations, config))
+        entity.add_group("params", self._param_ports(operations, config))
+        entity.add_group("implementation interface",
+                         self._implementation_ports(metamodel, config))
+
+        arch = Architecture(name="generated", entity=entity)
+        if binding.template == "sram_circular_buffer":
+            addr_width = max(1, clog2(max(2, config.depth * plan.beats)))
+            arch.declare_constant("DEPTH", "natural", str(config.depth * plan.beats))
+            arch.declare_signal("head_ptr", f"unsigned({addr_width - 1} downto 0)")
+            arch.declare_signal("tail_ptr", f"unsigned({addr_width - 1} downto 0)")
+            arch.declare_signal("occupancy", f"unsigned({addr_width} downto 0)")
+            arch.declare_signal("prefetch",
+                                std_logic_vector(config.effective_bus_width()))
+            arch.declare_signal("prefetch_valid", std_logic(), "'0'")
+            arch.declare_signal("hold_valid", std_logic(), "'0'")
+            arch.declare_signal("state", "state_t", "st_idle")
+        template = TEMPLATES[binding.template]
+        for statement in template(config, op_names):
+            arch.add(statement)
+        if plan.needs_adaptation:
+            arch.add(plan.vhdl_fragment())
+
+        header = (f"Generated {kind} over {config.binding} "
+                  f"(operations: {', '.join(op_names)}; "
+                  f"protocol: {protocol.name}; "
+                  f"element {config.data_width} bits over a "
+                  f"{config.effective_bus_width()}-bit bus)")
+        vhdl = VHDLFile(entity=entity, architecture=arch, header_comment=header)
+
+        extra: List[VHDLFile] = []
+        if config.shared_resource and binding.external:
+            extra.append(generate_arbiter_vhdl(
+                num_clients=max(2, config.sharers),
+                addr_width=max(1, clog2(max(2, config.depth * plan.beats))),
+                data_width=config.effective_bus_width(),
+                name=f"{config.name}_arbiter"))
+
+        return GeneratedComponent(vhdl=vhdl, config=config, operations=op_names,
+                                  protocol=protocol, width_plan=plan,
+                                  extra_files=extra)
+
+    # -- iterator generation ----------------------------------------------------------------
+
+    def generate_iterator(self, key: str, config: GenerationConfig) -> GeneratedComponent:
+        """Generate the VHDL of one iterator instance.
+
+        ``key`` selects the iterator metamodel (e.g. ``"read_buffer_forward"``).
+        """
+        metamodel = self.iterator_metamodels[key]
+        operations = metamodel.select_operations(config)
+        op_names = [op.name for op in operations]
+        plan = WidthAdaptationPlan(config.data_width, config.effective_bus_width())
+        protocol = protocol_for_binding(config.binding)
+
+        entity = Entity(name=config.name)
+        entity.add_group("iterator operations", self._method_ports(operations, config))
+        entity.add_group("params", self._param_ports(operations, config))
+        # The iterator's implementation interface is the container's
+        # functional interface: method strobes out, data/done in.
+        container_metamodel = self.container_metamodels[metamodel.container_kind]
+        container_ports: List[Port] = []
+        for op in container_metamodel.operations:
+            container_ports.append(Port(f"c_{op.name}", OUT, std_logic()))
+        container_ports.append(
+            Port("c_data", IN if metamodel.readable else OUT,
+                 std_logic_vector(config.effective_bus_width())))
+        container_ports.append(Port("c_done", IN, std_logic()))
+        entity.add_group("container interface", container_ports)
+
+        arch = Architecture(name="generated", entity=entity)
+        arch.add("-- iterator wrapper: renames operations onto the container")
+        if "inc" in op_names:
+            advance_target = ("c_pop" if metamodel.readable else "c_push")
+            arch.add(f"{advance_target} <= m_inc;")
+        if "read" in op_names and metamodel.readable:
+            first_out = next((p.name for op in operations for p in op.params
+                              if p.direction == "out"), "data")
+            arch.add(f"{first_out} <= c_data;")
+        if "write" in op_names and metamodel.writable:
+            first_in = next((p.name for op in operations for p in op.params
+                             if p.direction == "in"), "data")
+            arch.add(f"c_data <= {first_in};")
+        arch.add("done <= c_done;")
+        if plan.needs_adaptation:
+            arch.add(plan.vhdl_fragment())
+
+        header = (f"Generated {metamodel.traversal} iterator over "
+                  f"{metamodel.container_kind} "
+                  f"(operations: {', '.join(op_names)})")
+        vhdl = VHDLFile(entity=entity, architecture=arch, header_comment=header)
+        return GeneratedComponent(vhdl=vhdl, config=config, operations=op_names,
+                                  protocol=protocol, width_plan=plan)
+
+    # -- whole-design generation ---------------------------------------------------------------
+
+    def generate_design_library(self, design_name: str, binding: str,
+                                data_width: int = 8, depth: int = 512,
+                                bus_width: Optional[int] = None) -> List[GeneratedComponent]:
+        """Generate the container + iterator set of a saa2vga-style design."""
+        results: List[GeneratedComponent] = []
+        results.append(self.generate_container("read_buffer", GenerationConfig(
+            name=f"{design_name}_rbuffer_{binding}", data_width=data_width,
+            depth=depth, binding=binding, bus_width=bus_width,
+            used_operations=frozenset({"empty", "pop"}))))
+        results.append(self.generate_container("write_buffer", GenerationConfig(
+            name=f"{design_name}_wbuffer_{binding}", data_width=data_width,
+            depth=depth, binding=binding, bus_width=bus_width,
+            used_operations=frozenset({"full", "push"}))))
+        results.append(self.generate_iterator("read_buffer_forward", GenerationConfig(
+            name=f"{design_name}_rbuffer_it", data_width=data_width,
+            depth=depth, binding=binding, bus_width=bus_width)))
+        results.append(self.generate_iterator("write_buffer_forward", GenerationConfig(
+            name=f"{design_name}_wbuffer_it", data_width=data_width,
+            depth=depth, binding=binding, bus_width=bus_width)))
+        return results
+
+
+# ---------------------------------------------------------------------------
+# The exact entities shown in the paper
+# ---------------------------------------------------------------------------
+
+
+def figure4_rbuffer_fifo(data_width: int = 8) -> GeneratedComponent:
+    """Regenerate Figure 4: the read buffer over a FIFO device (``rbuffer_fifo``)."""
+    generator = CodeGenerator()
+    config = GenerationConfig(name="rbuffer_fifo", data_width=data_width,
+                              depth=512, binding="fifo",
+                              used_operations=frozenset({"empty", "size", "pop"}))
+    return generator.generate_container("read_buffer", config)
+
+
+def figure5_rbuffer_sram(data_width: int = 8, depth: int = 65536) -> GeneratedComponent:
+    """Regenerate Figure 5: the read buffer over an SRAM device (``rbuffer_sram``).
+
+    The paper's entity shows a 16-bit ``p_addr`` port, which corresponds to a
+    64k-element address space; ``depth`` defaults accordingly.
+    """
+    generator = CodeGenerator()
+    config = GenerationConfig(name="rbuffer_sram", data_width=data_width,
+                              depth=depth, binding="sram",
+                              used_operations=frozenset({"empty", "size", "pop"}))
+    return generator.generate_container("read_buffer", config)

@@ -1,0 +1,407 @@
+"""Metamodels of containers and iterators.
+
+"Our solution is based on the concept of metaprogramming.  An automatic code
+generator produces customized versions of containers and iterators from a
+code template.  The template includes information on the available
+operations, shared resources and parameterized code fragments."
+
+A metamodel is therefore: the *functional interface* (operations with their
+parameters), the set of *bindings* it can be implemented over (each with its
+own implementation interface), and the tunable generation parameters.  The
+generator (:mod:`repro.metagen.generator`) consumes a metamodel plus a
+:class:`GenerationConfig` and emits VHDL, including only "those resources
+that are really used by the selected operations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class OperationParam:
+    """A data parameter of an operation (appears as a port of the entity)."""
+
+    name: str
+    direction: str            # "in" or "out", from the container's viewpoint
+    width: Optional[int] = None  # None means "the element width"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a functional interface (e.g. ``pop``, ``read``, ``index``)."""
+
+    name: str
+    params: Sequence[OperationParam] = ()
+    has_done: bool = True
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ImplementationPort:
+    """One port of an implementation interface (the ``p_*`` ports of Fig. 4/5)."""
+
+    name: str
+    direction: str
+    width: Optional[int] = None  # None = element width; "addr" resolved separately
+    is_address: bool = False
+
+
+@dataclass(frozen=True)
+class BindingSpec:
+    """How a container kind maps onto one physical device."""
+
+    name: str
+    implementation_ports: Sequence[ImplementationPort]
+    #: Template key used by the generator for the architecture body.
+    template: str
+    #: Whether the device sits off-chip (affects arbitration/IO generation).
+    external: bool = False
+    description: str = ""
+
+
+@dataclass
+class GenerationConfig:
+    """Designer-selected parameters of one generation run.
+
+    This is the set of "right values for the different parameters considered
+    in the metamodel" the paper says the designer must choose: element type
+    width, depth, the physical binding, which operations the surrounding
+    design actually uses, the physical bus width (for width adaptation) and
+    whether the physical resource is shared (for arbitration).
+    """
+
+    name: str
+    data_width: int = 8
+    depth: int = 512
+    binding: str = "fifo"
+    used_operations: Optional[FrozenSet[str]] = None
+    bus_width: Optional[int] = None
+    shared_resource: bool = False
+    sharers: int = 1
+
+    def effective_bus_width(self) -> int:
+        return self.bus_width or self.data_width
+
+    def beats_per_element(self) -> int:
+        """How many physical transfers one element needs (width adaptation)."""
+        bus = self.effective_bus_width()
+        if self.data_width % bus:
+            raise ValueError(
+                f"data width {self.data_width} is not a multiple of the "
+                f"bus width {bus}")
+        return self.data_width // bus
+
+
+@dataclass
+class ContainerMetamodel:
+    """Metamodel of one container kind."""
+
+    kind: str
+    operations: Sequence[Operation]
+    bindings: Dict[str, BindingSpec]
+    description: str = ""
+
+    def operation_names(self) -> List[str]:
+        return [op.name for op in self.operations]
+
+    def get_operation(self, name: str) -> Operation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(f"container {self.kind!r} has no operation {name!r}")
+
+    def get_binding(self, name: str) -> BindingSpec:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise KeyError(
+                f"container {self.kind!r} has no binding {name!r}; "
+                f"available: {sorted(self.bindings)}") from None
+
+    def select_operations(self, config: GenerationConfig) -> List[Operation]:
+        """The operations to generate: all of them, or the configured subset."""
+        if config.used_operations is None:
+            return list(self.operations)
+        unknown = set(config.used_operations) - set(self.operation_names())
+        if unknown:
+            raise KeyError(
+                f"unknown operations {sorted(unknown)} for container {self.kind!r}")
+        return [op for op in self.operations if op.name in config.used_operations]
+
+
+@dataclass
+class IteratorMetamodel:
+    """Metamodel of one iterator family ("one iterator metamodel must be
+    defined for each kind of container")."""
+
+    container_kind: str
+    traversal: str
+    operations: Sequence[Operation]
+    readable: bool = True
+    writable: bool = False
+    description: str = ""
+
+    def operation_names(self) -> List[str]:
+        return [op.name for op in self.operations]
+
+    def select_operations(self, config: GenerationConfig) -> List[Operation]:
+        if config.used_operations is None:
+            return list(self.operations)
+        return [op for op in self.operations if op.name in config.used_operations]
+
+
+# ---------------------------------------------------------------------------
+# The standard metamodels of the basic component library
+# ---------------------------------------------------------------------------
+
+
+def _element(name: str, direction: str) -> OperationParam:
+    return OperationParam(name=name, direction=direction, width=None)
+
+
+READ_BUFFER_METAMODEL = ContainerMetamodel(
+    kind="read_buffer",
+    description="Sequential input container filled by the environment.",
+    operations=(
+        Operation("empty", params=(OperationParam("is_empty", "out", 1),),
+                  has_done=False, description="query whether elements are available"),
+        Operation("size", params=(OperationParam("count", "out", 16),),
+                  has_done=False, description="query the number of stored elements"),
+        Operation("pop", params=(_element("data", "out"),),
+                  description="retrieve and consume the next element"),
+    ),
+    bindings={
+        "fifo": BindingSpec(
+            name="fifo", template="fifo_wrapper",
+            description="on-chip FIFO core wrapper (Figure 4)",
+            implementation_ports=(
+                ImplementationPort("p_empty", "in", 1),
+                ImplementationPort("p_read", "out", 1),
+                ImplementationPort("p_data", "in"),
+            )),
+        "sram": BindingSpec(
+            name="sram", template="sram_circular_buffer", external=True,
+            description="circular buffer over external SRAM (Figure 5)",
+            implementation_ports=(
+                ImplementationPort("p_addr", "out", None, is_address=True),
+                ImplementationPort("p_data", "in"),
+                ImplementationPort("req", "out", 1),
+                ImplementationPort("ack", "in", 1),
+            )),
+        "linebuffer3": BindingSpec(
+            name="linebuffer3", template="linebuffer3_wrapper",
+            description="3-line buffer delivering pixel columns (blur design)",
+            implementation_ports=(
+                ImplementationPort("p_push", "out", 1),
+                ImplementationPort("p_din", "out"),
+                ImplementationPort("p_col_top", "in"),
+                ImplementationPort("p_col_mid", "in"),
+                ImplementationPort("p_col_bot", "in"),
+                ImplementationPort("p_window_valid", "in", 1),
+            )),
+    },
+)
+
+
+WRITE_BUFFER_METAMODEL = ContainerMetamodel(
+    kind="write_buffer",
+    description="Sequential output container drained by the environment.",
+    operations=(
+        Operation("full", params=(OperationParam("is_full", "out", 1),),
+                  has_done=False, description="query whether space is available"),
+        Operation("size", params=(OperationParam("count", "out", 16),),
+                  has_done=False, description="query the number of stored elements"),
+        Operation("push", params=(_element("data", "in"),),
+                  description="store the next element"),
+    ),
+    bindings={
+        "fifo": BindingSpec(
+            name="fifo", template="fifo_wrapper",
+            description="on-chip FIFO core wrapper",
+            implementation_ports=(
+                ImplementationPort("p_full", "in", 1),
+                ImplementationPort("p_write", "out", 1),
+                ImplementationPort("p_data", "out"),
+            )),
+        "sram": BindingSpec(
+            name="sram", template="sram_circular_buffer", external=True,
+            description="circular buffer over external SRAM",
+            implementation_ports=(
+                ImplementationPort("p_addr", "out", None, is_address=True),
+                ImplementationPort("p_data", "out"),
+                ImplementationPort("req", "out", 1),
+                ImplementationPort("ack", "in", 1),
+            )),
+    },
+)
+
+
+QUEUE_METAMODEL = ContainerMetamodel(
+    kind="queue",
+    description="FIFO-ordered queue with both ends on the algorithm side.",
+    operations=(
+        Operation("empty", params=(OperationParam("is_empty", "out", 1),),
+                  has_done=False),
+        Operation("full", params=(OperationParam("is_full", "out", 1),),
+                  has_done=False),
+        Operation("pop", params=(_element("data", "out"),)),
+        Operation("push", params=(_element("data_in", "in"),)),
+    ),
+    bindings={
+        "fifo": BindingSpec(
+            name="fifo", template="fifo_wrapper",
+            implementation_ports=(
+                ImplementationPort("p_empty", "in", 1),
+                ImplementationPort("p_full", "in", 1),
+                ImplementationPort("p_read", "out", 1),
+                ImplementationPort("p_write", "out", 1),
+                ImplementationPort("p_rdata", "in"),
+                ImplementationPort("p_wdata", "out"),
+            )),
+        "sram": BindingSpec(
+            name="sram", template="sram_circular_buffer", external=True,
+            implementation_ports=(
+                ImplementationPort("p_addr", "out", None, is_address=True),
+                ImplementationPort("p_data", "inout"),
+                ImplementationPort("req", "out", 1),
+                ImplementationPort("ack", "in", 1),
+            )),
+    },
+)
+
+
+STACK_METAMODEL = ContainerMetamodel(
+    kind="stack",
+    description="LIFO stack.",
+    operations=(
+        Operation("empty", params=(OperationParam("is_empty", "out", 1),),
+                  has_done=False),
+        Operation("full", params=(OperationParam("is_full", "out", 1),),
+                  has_done=False),
+        Operation("pop", params=(_element("data", "out"),)),
+        Operation("push", params=(_element("data_in", "in"),)),
+    ),
+    bindings={
+        "lifo": BindingSpec(
+            name="lifo", template="lifo_wrapper",
+            implementation_ports=(
+                ImplementationPort("p_empty", "in", 1),
+                ImplementationPort("p_full", "in", 1),
+                ImplementationPort("p_pop", "out", 1),
+                ImplementationPort("p_push", "out", 1),
+                ImplementationPort("p_rdata", "in"),
+                ImplementationPort("p_wdata", "out"),
+            )),
+        "sram": BindingSpec(
+            name="sram", template="sram_stack", external=True,
+            implementation_ports=(
+                ImplementationPort("p_addr", "out", None, is_address=True),
+                ImplementationPort("p_data", "inout"),
+                ImplementationPort("req", "out", 1),
+                ImplementationPort("ack", "in", 1),
+            )),
+    },
+)
+
+
+VECTOR_METAMODEL = ContainerMetamodel(
+    kind="vector",
+    description="Random-access vector.",
+    operations=(
+        Operation("read", params=(OperationParam("addr", "in", None),
+                                  _element("data", "out"))),
+        Operation("write", params=(OperationParam("addr_w", "in", None),
+                                   _element("data_in", "in"))),
+        Operation("size", params=(OperationParam("count", "out", 16),),
+                  has_done=False),
+    ),
+    bindings={
+        "bram": BindingSpec(
+            name="bram", template="bram_port",
+            implementation_ports=(
+                ImplementationPort("p_en", "out", 1),
+                ImplementationPort("p_we", "out", 1),
+                ImplementationPort("p_addr", "out", None, is_address=True),
+                ImplementationPort("p_din", "out"),
+                ImplementationPort("p_dout", "in"),
+            )),
+        "sram": BindingSpec(
+            name="sram", template="sram_port", external=True,
+            implementation_ports=(
+                ImplementationPort("p_addr", "out", None, is_address=True),
+                ImplementationPort("p_data", "inout"),
+                ImplementationPort("req", "out", 1),
+                ImplementationPort("ack", "in", 1),
+            )),
+        "registers": BindingSpec(
+            name="registers", template="register_file",
+            implementation_ports=()),
+    },
+)
+
+
+ASSOC_ARRAY_METAMODEL = ContainerMetamodel(
+    kind="assoc_array",
+    description="Associative (key/value) array.",
+    operations=(
+        Operation("lookup", params=(OperationParam("key", "in", None),
+                                    OperationParam("found", "out", 1),
+                                    _element("value", "out"))),
+        Operation("insert", params=(OperationParam("key_in", "in", None),
+                                    _element("value_in", "in"))),
+        Operation("remove", params=(OperationParam("key_rm", "in", None),)),
+    ),
+    bindings={
+        "cam": BindingSpec(
+            name="cam", template="cam_wrapper",
+            implementation_ports=(
+                ImplementationPort("p_match_key", "out", None),
+                ImplementationPort("p_hit", "in", 1),
+                ImplementationPort("p_hit_value", "in"),
+                ImplementationPort("p_insert", "out", 1),
+                ImplementationPort("p_remove", "out", 1),
+            )),
+    },
+)
+
+
+#: All standard container metamodels, keyed by kind.
+CONTAINER_METAMODELS: Dict[str, ContainerMetamodel] = {
+    model.kind: model
+    for model in (READ_BUFFER_METAMODEL, WRITE_BUFFER_METAMODEL, QUEUE_METAMODEL,
+                  STACK_METAMODEL, VECTOR_METAMODEL, ASSOC_ARRAY_METAMODEL)
+}
+
+
+#: Iterator metamodels: one per (container kind, traversal role).
+ITERATOR_METAMODELS: Dict[str, IteratorMetamodel] = {
+    "read_buffer_forward": IteratorMetamodel(
+        container_kind="read_buffer", traversal="forward", readable=True,
+        operations=(Operation("inc"), Operation("read", params=(_element("data", "out"),))),
+        description="forward input iterator (rbuffer_it)"),
+    "write_buffer_forward": IteratorMetamodel(
+        container_kind="write_buffer", traversal="forward", readable=False,
+        writable=True,
+        operations=(Operation("inc"), Operation("write", params=(_element("data", "in"),))),
+        description="forward output iterator (wbuffer_it)"),
+    "queue_forward_in": IteratorMetamodel(
+        container_kind="queue", traversal="forward", readable=True,
+        operations=(Operation("inc"), Operation("read", params=(_element("data", "out"),)))),
+    "queue_forward_out": IteratorMetamodel(
+        container_kind="queue", traversal="forward", writable=True, readable=False,
+        operations=(Operation("inc"), Operation("write", params=(_element("data", "in"),)))),
+    "vector_random": IteratorMetamodel(
+        container_kind="vector", traversal="random", readable=True, writable=True,
+        operations=(Operation("inc"), Operation("dec"),
+                    Operation("read", params=(_element("data", "out"),)),
+                    Operation("write", params=(_element("data", "in"),)),
+                    Operation("index", params=(OperationParam("pos", "in", None),)))),
+    "read_buffer_window": IteratorMetamodel(
+        container_kind="read_buffer", traversal="window", readable=True,
+        operations=(Operation("inc"),
+                    Operation("read", params=(_element("col_top", "out"),
+                                              _element("col_mid", "out"),
+                                              _element("col_bot", "out"))))),
+}

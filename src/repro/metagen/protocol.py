@@ -1,0 +1,102 @@
+"""Communication-protocol selection.
+
+"Metaprogramming ... also provides transparent selection of the communication
+protocol between components.  Here transparency refers to the model, not to
+the designer that must select the right values for the different parameters
+considered in the metamodel."
+
+This module enumerates the inter-component protocols the generator knows how
+to emit, the properties that distinguish them, and a selection function that
+picks the cheapest protocol compatible with the binding's timing behaviour —
+the choice is invisible to the model (algorithms only see iterators), but the
+designer can still override it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One point-to-point communication protocol."""
+
+    name: str
+    #: Number of control signals added to the data ports.
+    control_signals: int
+    #: Whether the consumer can stall the producer.
+    supports_backpressure: bool
+    #: Whether transfers may take a variable number of cycles.
+    supports_variable_latency: bool
+    #: Minimum cycles per transfer under ideal conditions.
+    min_cycles_per_transfer: int
+    description: str = ""
+
+
+#: Simple strobe: one enable signal, fixed single-cycle transfers.
+STROBE = ProtocolSpec(
+    name="strobe", control_signals=1, supports_backpressure=False,
+    supports_variable_latency=False, min_cycles_per_transfer=1,
+    description="single enable strobe; both sides must be always-ready")
+
+#: Valid/ready streaming handshake (the stream interfaces of the library).
+VALID_READY = ProtocolSpec(
+    name="valid_ready", control_signals=2, supports_backpressure=True,
+    supports_variable_latency=False, min_cycles_per_transfer=1,
+    description="AXI-stream-style handshake; one transfer per cycle possible")
+
+#: Four-phase request/acknowledge (the external SRAM interface of Figure 5).
+REQ_ACK = ProtocolSpec(
+    name="req_ack", control_signals=2, supports_backpressure=True,
+    supports_variable_latency=True, min_cycles_per_transfer=3,
+    description="four-phase handshake tolerating arbitrary device latency")
+
+#: Strobe plus done pulse (the iterator operation protocol of Table 2).
+STROBE_DONE = ProtocolSpec(
+    name="strobe_done", control_signals=2, supports_backpressure=True,
+    supports_variable_latency=True, min_cycles_per_transfer=1,
+    description="operation strobe with completion pulse; single cycle when "
+                "the binding allows, multi-cycle otherwise")
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    spec.name: spec for spec in (STROBE, VALID_READY, REQ_ACK, STROBE_DONE)
+}
+
+
+def select_protocol(fixed_latency: bool, needs_backpressure: bool,
+                    override: Optional[str] = None) -> ProtocolSpec:
+    """Pick the cheapest protocol meeting the stated requirements.
+
+    Parameters
+    ----------
+    fixed_latency:
+        True when the binding always completes an operation in the same
+        number of cycles (FIFO, register file); False for req/ack devices.
+    needs_backpressure:
+        True when the consumer may stall (almost always true in the library).
+    override:
+        Explicit designer choice; validated against the requirements.
+    """
+    if override is not None:
+        spec = PROTOCOLS[override]
+        if not fixed_latency and not spec.supports_variable_latency:
+            raise ValueError(
+                f"protocol {override!r} cannot express variable-latency accesses")
+        if needs_backpressure and not spec.supports_backpressure:
+            raise ValueError(f"protocol {override!r} has no backpressure")
+        return spec
+    candidates = [spec for spec in PROTOCOLS.values()
+                  if (fixed_latency or spec.supports_variable_latency)
+                  and (not needs_backpressure or spec.supports_backpressure)]
+    # Cheapest: fewest control signals, then lowest per-transfer latency.
+    return min(candidates,
+               key=lambda spec: (spec.control_signals, spec.min_cycles_per_transfer))
+
+
+def protocol_for_binding(binding: str, override: Optional[str] = None) -> ProtocolSpec:
+    """Protocol used between an iterator and a container of the given binding."""
+    fixed = binding in ("fifo", "lifo", "registers", "linebuffer3", "cam", "bram")
+    return select_protocol(fixed_latency=fixed, needs_backpressure=True,
+                           override=override)

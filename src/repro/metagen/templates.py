@@ -1,0 +1,247 @@
+"""Parameterised VHDL architecture templates.
+
+"The template includes information on the available operations, shared
+resources and parameterized code fragments."  Each function here returns the
+architecture body for one binding, given the generation parameters.  The
+fragments are deliberately close to what the paper describes:
+
+* the FIFO wrapper "is simply a wrapper of the FIFO core and hardly includes
+  any logic";
+* the SRAM circular buffer "encloses a little finite state machine that
+  controls memory access, as well as a few registers to store the begin and
+  end pointers of the queue (implemented as a circular buffer)".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .metamodel import GenerationConfig
+
+
+def fifo_wrapper_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Concurrent assignments renaming the FIFO core ports (Figure 4 style)."""
+    statements: List[str] = ["-- pure wrapper of the FIFO core: no extra logic"]
+    if "empty" in operations:
+        statements.append("is_empty <= p_empty;")
+    if "full" in operations:
+        statements.append("is_full <= p_full;")
+    if "size" in operations:
+        statements.append("count <= (others => '0');  "
+                          "-- occupancy is tracked inside the FIFO core")
+    if "pop" in operations:
+        statements.append("p_read <= m_pop;")
+        statements.append("data <= p_data;")
+        statements.append("done <= m_pop and not p_empty;")
+    if "push" in operations:
+        statements.append("p_write <= m_push;")
+        statements.append("p_data <= data_in;" if "pop" not in operations
+                          else "p_wdata <= data_in;")
+        statements.append("done <= m_push and not p_full;")
+    return statements
+
+
+def lifo_wrapper_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Concurrent assignments renaming the LIFO core ports."""
+    statements: List[str] = ["-- pure wrapper of the LIFO core"]
+    if "empty" in operations:
+        statements.append("is_empty <= p_empty;")
+    if "full" in operations:
+        statements.append("is_full <= p_full;")
+    if "pop" in operations:
+        statements.append("p_pop <= m_pop;")
+        statements.append("data <= p_rdata;")
+    if "push" in operations:
+        statements.append("p_push <= m_push;")
+        statements.append("p_wdata <= data_in;")
+    return statements
+
+
+def sram_circular_buffer_body(config: GenerationConfig,
+                              operations: List[str]) -> List[str]:
+    """Pointer-FSM architecture for the external-SRAM circular buffer (Fig. 5)."""
+    beats = config.beats_per_element()
+    statements: List[str] = [
+        "-- circular buffer over external SRAM: begin/end pointer registers",
+        "-- plus an access FSM driving the req/ack handshake",
+    ]
+    process_lines = [
+        "ctrl: process(clk)",
+        "begin",
+        "  if rising_edge(clk) then",
+        "    if rst = '1' then",
+        "      head_ptr  <= (others => '0');",
+        "      tail_ptr  <= (others => '0');",
+        "      occupancy <= (others => '0');",
+        "      state     <= st_idle;",
+        "    else",
+        "      case state is",
+        "        when st_idle =>",
+    ]
+    if "push" in operations:
+        process_lines += [
+            "          if hold_valid = '1' and occupancy /= DEPTH then",
+            "            p_addr <= std_logic_vector(tail_ptr);",
+            "            req    <= '1';",
+            "            state  <= st_write;",
+        ]
+    if "pop" in operations:
+        keyword = "elsif" if "push" in operations else "if"
+        process_lines += [
+            f"          {keyword} occupancy /= 0 and prefetch_valid = '0' then",
+            "            p_addr <= std_logic_vector(head_ptr);",
+            "            req    <= '1';",
+            "            state  <= st_read;",
+            "          end if;",
+        ]
+    elif "push" in operations:
+        process_lines.append("          end if;")
+    if "push" in operations:
+        process_lines += [
+            "        when st_write =>",
+            "          if ack = '1' then",
+            "            tail_ptr  <= tail_ptr + 1;",
+            "            occupancy <= occupancy + 1;",
+            "            req       <= '0';",
+            "            state     <= st_release;",
+            "          end if;",
+        ]
+    if "pop" in operations:
+        process_lines += [
+            "        when st_read =>",
+            "          if ack = '1' then",
+            "            prefetch       <= p_data;",
+            "            prefetch_valid <= '1';",
+            "            head_ptr       <= head_ptr + 1;",
+            "            occupancy      <= occupancy - 1;",
+            "            req            <= '0';",
+            "            state          <= st_release;",
+            "          end if;",
+        ]
+    process_lines += [
+        "        when st_release =>",
+        "          if ack = '0' then",
+        "            state <= st_idle;",
+        "          end if;",
+        "        when others =>",
+        "          state <= st_idle;",
+        "      end case;",
+        "    end if;",
+        "  end if;",
+        "end process;",
+    ]
+    statements.append("\n".join(process_lines))
+    if beats > 1:
+        statements.append(
+            f"-- width adaptation: {config.data_width}-bit elements moved as "
+            f"{beats} x {config.effective_bus_width()}-bit transfers "
+            f"(beat counter 0 to {beats - 1})")
+    if "empty" in operations:
+        statements.append("is_empty <= '1' when occupancy = 0 else '0';")
+    if "full" in operations:
+        statements.append("is_full <= '1' when occupancy = DEPTH else '0';")
+    if "size" in operations:
+        statements.append("count <= std_logic_vector(occupancy);")
+    if "pop" in operations:
+        statements.append("data <= prefetch;")
+        statements.append("done <= m_pop and prefetch_valid;")
+    if "push" in operations:
+        statements.append("done <= m_push and not is_full;")
+    return statements
+
+
+def sram_stack_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Stack-pointer FSM for a stack bound to external SRAM."""
+    statements = [
+        "-- stack over external SRAM: stack-pointer register plus access FSM",
+        "sp_proc: process(clk)",
+        "begin",
+        "  if rising_edge(clk) then",
+        "    if rst = '1' then",
+        "      stack_ptr <= (others => '0');",
+        "    elsif push_accepted = '1' then",
+        "      stack_ptr <= stack_ptr + 1;",
+        "    elsif pop_accepted = '1' then",
+        "      stack_ptr <= stack_ptr - 1;",
+        "    end if;",
+        "  end if;",
+        "end process;",
+    ]
+    return ["\n".join(statements)]
+
+
+def bram_port_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Registered-read block-RAM access for the vector container."""
+    statements: List[str] = ["-- vector over on-chip block RAM (registered read)"]
+    if "read" in operations:
+        statements.append("p_en <= m_read or m_write;" if "write" in operations
+                          else "p_en <= m_read;")
+        statements.append("p_addr <= addr;")
+        statements.append("data <= p_dout;")
+    if "write" in operations:
+        statements.append("p_we <= m_write;")
+        statements.append("p_din <= data_in;")
+    statements.append("done <= access_pending;  -- pulses one cycle after p_en")
+    return statements
+
+
+def sram_port_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Req/ack access for the vector container over external SRAM."""
+    return [
+        "-- vector over external SRAM: req/ack handshake per access",
+        "req  <= m_read or m_write;",
+        "p_addr <= addr;",
+        "data <= p_data;",
+        "done <= ack;",
+    ]
+
+
+def register_file_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Register-file storage for small vectors."""
+    return [
+        "-- vector over a register file (combinational read)",
+        f"regs: for i in 0 to {config.depth - 1} generate",
+        "  -- one register per element",
+        "end generate;",
+        "data <= regs_array(to_integer(unsigned(addr)));",
+        "done <= m_read or m_write;",
+    ]
+
+
+def linebuffer3_wrapper_body(config: GenerationConfig,
+                             operations: List[str]) -> List[str]:
+    """Wrapper of the 3-line buffer used by the blur read buffer."""
+    return [
+        "-- wrapper of the 3-line buffer core: exposes the pixel column",
+        "p_push <= m_pop;",
+        "p_din  <= stream_data;",
+        "data   <= p_col_mid;",
+        "done   <= m_pop and p_window_valid;",
+    ]
+
+
+def cam_wrapper_body(config: GenerationConfig, operations: List[str]) -> List[str]:
+    """Wrapper of the content-addressable memory for the associative array."""
+    statements = ["-- wrapper of the CAM core"]
+    if "lookup" in operations:
+        statements += ["p_match_key <= key;", "found <= p_hit;",
+                       "value <= p_hit_value;", "done <= m_lookup;"]
+    if "insert" in operations:
+        statements.append("p_insert <= m_insert;")
+    if "remove" in operations:
+        statements.append("p_remove <= m_remove;")
+    return statements
+
+
+#: Template registry consumed by the generator.
+TEMPLATES = {
+    "fifo_wrapper": fifo_wrapper_body,
+    "lifo_wrapper": lifo_wrapper_body,
+    "sram_circular_buffer": sram_circular_buffer_body,
+    "sram_stack": sram_stack_body,
+    "bram_port": bram_port_body,
+    "sram_port": sram_port_body,
+    "register_file": register_file_body,
+    "linebuffer3_wrapper": linebuffer3_wrapper_body,
+    "cam_wrapper": cam_wrapper_body,
+}

@@ -1,0 +1,168 @@
+"""Width adaptation: moving wide elements over narrow physical ports.
+
+Section 3.3: "For an 8-bit data bus, we should also modify the iterator code
+to perform three consecutive container reads/writes to get/set the whole
+pixel.  In any case, all this scenarios can be considered by the automatic
+code generator, thus requiring no designer intervention."
+
+Two things are provided:
+
+* a *plan* (:class:`WidthAdaptationPlan`) plus a VHDL fragment generator, used
+  by the code generator when a container/iterator is configured with a bus
+  narrower than its element;
+* two simulatable components (:class:`WidthDownConverter`,
+  :class:`WidthUpConverter`) that perform the same serialisation between
+  stream interfaces, so the pixel-format experiment (E8) can run end-to-end
+  in simulation: 24-bit RGB pixels travel through 8-bit containers and come
+  out bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.interfaces import StreamSinkIface, StreamSourceIface
+from ..rtl import Component, clog2
+from ..video.pixel import join_word, split_word
+
+
+@dataclass(frozen=True)
+class WidthAdaptationPlan:
+    """How one element is carried over a narrower physical data bus."""
+
+    element_width: int
+    bus_width: int
+
+    def __post_init__(self) -> None:
+        if self.element_width % self.bus_width:
+            raise ValueError(
+                f"element width {self.element_width} is not a multiple of "
+                f"bus width {self.bus_width}")
+
+    @property
+    def beats(self) -> int:
+        """Number of physical transfers per element."""
+        return self.element_width // self.bus_width
+
+    @property
+    def needs_adaptation(self) -> bool:
+        return self.beats > 1
+
+    def split(self, element: int) -> List[int]:
+        """Element -> list of bus-wide beats (most significant first)."""
+        return split_word(element, self.element_width, self.bus_width)
+
+    def join(self, beats: List[int]) -> int:
+        """Bus-wide beats (most significant first) -> element."""
+        if len(beats) != self.beats:
+            raise ValueError(f"expected {self.beats} beats, got {len(beats)}")
+        return join_word(beats, self.bus_width)
+
+    def vhdl_fragment(self) -> str:
+        """The generated serialisation logic (a beat counter + shift register)."""
+        if not self.needs_adaptation:
+            return "-- element width matches the bus width: no adaptation logic"
+        counter_width = max(1, clog2(self.beats))
+        return "\n".join([
+            f"-- width adaptation: {self.element_width}-bit element over a "
+            f"{self.bus_width}-bit bus ({self.beats} beats per element)",
+            f"signal beat_count : unsigned({counter_width - 1} downto 0);",
+            f"signal shift_reg  : std_logic_vector({self.element_width - 1} downto 0);",
+            "adapt: process(clk)",
+            "begin",
+            "  if rising_edge(clk) then",
+            "    if beat_accepted = '1' then",
+            f"      shift_reg <= shift_reg({self.element_width - self.bus_width - 1} "
+            f"downto 0) & p_data;",
+            f"      if beat_count = {self.beats - 1} then",
+            "        beat_count   <= (others => '0');",
+            "        element_done <= '1';",
+            "      else",
+            "        beat_count   <= beat_count + 1;",
+            "        element_done <= '0';",
+            "      end if;",
+            "    end if;",
+            "  end if;",
+            "end process;",
+        ])
+
+
+class WidthDownConverter(Component):
+    """Serialise wide elements into narrow beats between two stream interfaces.
+
+    ``wide_in`` (a :class:`StreamSinkIface` of ``element_width`` bits) accepts
+    whole elements; ``narrow_out`` (a :class:`StreamSourceIface` of
+    ``bus_width`` bits) delivers them most-significant beat first.
+    """
+
+    def __init__(self, name: str, element_width: int, bus_width: int) -> None:
+        super().__init__(name)
+        self.plan = WidthAdaptationPlan(element_width, bus_width)
+        self.wide_in = StreamSinkIface(self, element_width, name=f"{name}_wide_in")
+        self.narrow_out = StreamSourceIface(self, bus_width, name=f"{name}_narrow_out")
+
+        beats = self.plan.beats
+        self._shift = self.state(element_width, name=f"{name}_shift")
+        self._remaining = self.state(max(1, clog2(beats + 1)), name=f"{name}_remaining")
+
+        @self.comb
+        def wires() -> None:
+            remaining = self._remaining.value
+            self.wide_in.ready.next = 1 if remaining == 0 else 0
+            self.narrow_out.valid.next = 1 if remaining > 0 else 0
+            # Present the most significant beat of what is left in the shift
+            # register.
+            shift = self._shift.value
+            top = (shift >> (bus_width * (remaining - 1))) if remaining else 0
+            self.narrow_out.data.next = top & ((1 << bus_width) - 1)
+
+        @self.seq
+        def control() -> None:
+            remaining = self._remaining.value
+            if remaining == 0:
+                if self.wide_in.push.value:
+                    self._shift.next = self.wide_in.data.value
+                    self._remaining.next = beats
+            elif self.narrow_out.pop.value:
+                self._remaining.next = remaining - 1
+
+
+class WidthUpConverter(Component):
+    """Reassemble narrow beats into wide elements between two stream interfaces.
+
+    ``narrow_in`` accepts ``bus_width``-bit beats (most significant first);
+    ``wide_out`` delivers complete ``element_width``-bit elements.
+    """
+
+    def __init__(self, name: str, element_width: int, bus_width: int) -> None:
+        super().__init__(name)
+        self.plan = WidthAdaptationPlan(element_width, bus_width)
+        self.narrow_in = StreamSinkIface(self, bus_width, name=f"{name}_narrow_in")
+        self.wide_out = StreamSourceIface(self, element_width, name=f"{name}_wide_out")
+
+        beats = self.plan.beats
+        self._shift = self.state(element_width, name=f"{name}_shift")
+        self._collected = self.state(max(1, clog2(beats + 1)), name=f"{name}_collected")
+
+        @self.comb
+        def wires() -> None:
+            collected = self._collected.value
+            complete = collected == beats
+            self.narrow_in.ready.next = 0 if complete else 1
+            self.wide_out.valid.next = 1 if complete else 0
+            self.wide_out.data.next = self._shift.value if complete else 0
+
+        @self.seq
+        def control() -> None:
+            collected = self._collected.value
+            complete = collected == beats
+            if complete:
+                if self.wide_out.pop.value:
+                    self._collected.next = 0
+                    self._shift.next = 0
+            elif self.narrow_in.push.value:
+                mask = (1 << element_width) - 1
+                self._shift.next = ((self._shift.value << bus_width)
+                                    | self.narrow_in.data.value) & mask
+                self._collected.next = collected + 1

@@ -1,0 +1,29 @@
+"""Behavioural models of the physical devices of the target platform.
+
+These components stand in for the FIFO/LIFO cores, block RAMs, external SRAM
+and the special 3-line buffer of the XSB-300E prototyping board used by the
+paper.  Containers from :mod:`repro.core` are *bound* to one of these devices
+at instantiation time; the synthesis estimator consumes the same models to
+produce Table-3-style resource figures.
+"""
+
+from .arbiter import PriorityArbiter, RoundRobinArbiter
+from .bram import DualPortRAM, SinglePortRAM
+from .fifo import SyncFIFO
+from .lifo import SyncLIFO
+from .linebuffer import LineBuffer3
+from .regfile import ContentAddressableMemory, RegisterFile
+from .sram import AsyncSRAM
+
+__all__ = [
+    "SyncFIFO",
+    "SyncLIFO",
+    "AsyncSRAM",
+    "SinglePortRAM",
+    "DualPortRAM",
+    "LineBuffer3",
+    "RegisterFile",
+    "ContentAddressableMemory",
+    "PriorityArbiter",
+    "RoundRobinArbiter",
+]

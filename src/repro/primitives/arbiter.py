@@ -1,0 +1,133 @@
+"""Arbiters for shared physical resources.
+
+Section 3.4 of the paper notes that metaprogramming "allows automatic
+generation of arbitration logic for shared physical resources (e.g. RAM)".
+These components are the arbitration primitives that the generated logic is
+built from: a fixed-priority arbiter and a round-robin arbiter, both with
+one-hot grant outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rtl import Component, Signal, clog2
+
+
+class PriorityArbiter(Component):
+    """Fixed-priority arbiter: the lowest-index active request wins.
+
+    Ports
+    -----
+    requests : in
+        List of 1-bit request signals, index 0 has the highest priority.
+    grants : out
+        One-hot list of grant signals.
+    busy : out
+        High when any grant is active.
+    grant_index : out
+        Binary index of the granted requester (0 when idle).
+    """
+
+    def __init__(self, name: str, num_requesters: int) -> None:
+        super().__init__(name)
+        if num_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.num_requesters = num_requesters
+
+        self.requests: List[Signal] = [
+            self.signal(1, name=f"{name}_req{i}") for i in range(num_requesters)]
+        self.grants: List[Signal] = [
+            self.signal(1, name=f"{name}_gnt{i}") for i in range(num_requesters)]
+        self.busy = self.signal(1, name=f"{name}_busy")
+        self.grant_index = self.signal(
+            max(1, clog2(max(2, num_requesters))), name=f"{name}_grant_index")
+
+        @self.comb
+        def arbitrate() -> None:
+            winner = -1
+            for i, req in enumerate(self.requests):
+                if req.value:
+                    winner = i
+                    break
+            for i, gnt in enumerate(self.grants):
+                gnt.next = 1 if i == winner else 0
+            self.busy.next = 1 if winner >= 0 else 0
+            self.grant_index.next = winner if winner >= 0 else 0
+
+    def granted(self) -> int:
+        """Index of the currently granted requester, or -1 when idle."""
+        for i, gnt in enumerate(self.grants):
+            if gnt.value:
+                return i
+        return -1
+
+
+class RoundRobinArbiter(Component):
+    """Round-robin arbiter with a rotating priority pointer.
+
+    After a grant is consumed (request drops while granted), the priority
+    pointer moves past the granted requester, giving every requester a fair
+    share of a contended resource such as a shared external SRAM.
+    """
+
+    def __init__(self, name: str, num_requesters: int) -> None:
+        super().__init__(name)
+        if num_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.num_requesters = num_requesters
+
+        self.requests: List[Signal] = [
+            self.signal(1, name=f"{name}_req{i}") for i in range(num_requesters)]
+        self.grants: List[Signal] = [
+            self.signal(1, name=f"{name}_gnt{i}") for i in range(num_requesters)]
+        self.busy = self.signal(1, name=f"{name}_busy")
+        self.grant_index = self.signal(
+            max(1, clog2(max(2, num_requesters))), name=f"{name}_grant_index")
+
+        self._pointer = self.state(
+            max(1, clog2(max(2, num_requesters))), name=f"{name}_pointer")
+        self._locked = self.state(1, name=f"{name}_locked")
+        self._locked_index = self.state(
+            max(1, clog2(max(2, num_requesters))), name=f"{name}_locked_index")
+
+        @self.comb
+        def arbitrate() -> None:
+            winner = self._select()
+            for i, gnt in enumerate(self.grants):
+                gnt.next = 1 if i == winner else 0
+            self.busy.next = 1 if winner >= 0 else 0
+            self.grant_index.next = winner if winner >= 0 else 0
+
+        @self.seq
+        def rotate() -> None:
+            winner = self._select()
+            if winner < 0:
+                self._locked.next = 0
+                return
+            if self.requests[winner].value:
+                # Hold the grant while the request persists.
+                self._locked.next = 1
+                self._locked_index.next = winner
+            else:
+                self._locked.next = 0
+            # Advance the pointer past the most recent winner so the next
+            # arbitration round starts after it.
+            self._pointer.next = (winner + 1) % self.num_requesters
+
+    def _select(self) -> int:
+        if self._locked.value and self.requests[self._locked_index.value].value:
+            return self._locked_index.value
+        start = self._pointer.value % self.num_requesters
+        for offset in range(self.num_requesters):
+            index = (start + offset) % self.num_requesters
+            if self.requests[index].value:
+                return index
+        return -1
+
+    def granted(self) -> int:
+        """Index of the currently granted requester, or -1 when idle."""
+        for i, gnt in enumerate(self.grants):
+            if gnt.value:
+                return i
+        return -1

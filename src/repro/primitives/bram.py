@@ -1,0 +1,134 @@
+"""On-chip block RAM models.
+
+Spartan-IIE devices (the FPGA on the XSB-300E board) provide true dual-port
+4-kbit block RAMs.  Containers bound to on-chip memory use these models; the
+synthesis estimator maps their storage bits onto block-RAM counts exactly as
+Table 3 of the paper reports them.
+
+Two flavours are modelled:
+
+* :class:`SinglePortRAM` — one synchronous read/write port with registered
+  read data (1-cycle read latency), the common inferred-RAM template.
+* :class:`DualPortRAM` — independent write and read ports, used by the
+  3-line buffer and by stream-to-frame capture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rtl import Component, clog2
+
+
+class SinglePortRAM(Component):
+    """Synchronous single-port RAM with registered read output.
+
+    Ports
+    -----
+    en : in
+        Port enable; nothing happens while low.
+    we : in
+        Write enable (qualified by ``en``).
+    addr, din : in
+    dout : out
+        Registered read data: valid one cycle after a read access.
+    """
+
+    def __init__(self, name: str, depth: int, width: int,
+                 init: Optional[List[int]] = None) -> None:
+        super().__init__(name)
+        if depth < 2:
+            raise ValueError(f"RAM depth must be >= 2, got {depth}")
+        self.depth = depth
+        self.width = width
+        self.addr_width = clog2(depth)
+
+        self.en = self.signal(1, name=f"{name}_en")
+        self.we = self.signal(1, name=f"{name}_we")
+        self.addr = self.signal(self.addr_width, name=f"{name}_addr")
+        self.din = self.signal(width, name=f"{name}_din")
+        self.dout = self.signal(width, name=f"{name}_dout")
+
+        self._mem = self.memory(depth, width, name=f"{name}_mem", init=init)
+
+        @self.seq
+        def port() -> None:
+            if self.en.value:
+                address = self.addr.value
+                if self.we.value:
+                    self._mem[address] = self.din.value
+                self.dout.next = self._mem[address]
+
+    def read_word(self, addr: int) -> int:
+        """Backdoor read for test benches."""
+        return self._mem[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Backdoor write for test benches."""
+        self._mem[addr] = value
+
+    def load(self, values: List[int], offset: int = 0) -> None:
+        """Preload a block of words starting at ``offset``."""
+        self._mem.load(values, offset)
+
+    def dump(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        """Return a copy of ``count`` words starting at ``start``."""
+        return self._mem.dump(start, count)
+
+
+class DualPortRAM(Component):
+    """Simple dual-port RAM: one synchronous write port, one synchronous read port.
+
+    Ports
+    -----
+    wen, waddr, wdata : in
+        Write port.
+    ren, raddr : in
+    rdata : out
+        Read port, registered (1-cycle latency).
+    """
+
+    def __init__(self, name: str, depth: int, width: int,
+                 init: Optional[List[int]] = None) -> None:
+        super().__init__(name)
+        if depth < 2:
+            raise ValueError(f"RAM depth must be >= 2, got {depth}")
+        self.depth = depth
+        self.width = width
+        self.addr_width = clog2(depth)
+
+        self.wen = self.signal(1, name=f"{name}_wen")
+        self.waddr = self.signal(self.addr_width, name=f"{name}_waddr")
+        self.wdata = self.signal(width, name=f"{name}_wdata")
+
+        self.ren = self.signal(1, name=f"{name}_ren")
+        self.raddr = self.signal(self.addr_width, name=f"{name}_raddr")
+        self.rdata = self.signal(width, name=f"{name}_rdata")
+
+        self._mem = self.memory(depth, width, name=f"{name}_mem", init=init)
+
+        @self.seq
+        def write_port() -> None:
+            if self.wen.value:
+                self._mem[self.waddr.value] = self.wdata.value
+
+        @self.seq
+        def read_port() -> None:
+            if self.ren.value:
+                self.rdata.next = self._mem[self.raddr.value]
+
+    def read_word(self, addr: int) -> int:
+        """Backdoor read for test benches."""
+        return self._mem[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Backdoor write for test benches."""
+        self._mem[addr] = value
+
+    def load(self, values: List[int], offset: int = 0) -> None:
+        """Preload a block of words starting at ``offset``."""
+        self._mem.load(values, offset)
+
+    def dump(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        """Return a copy of ``count`` words starting at ``start``."""
+        return self._mem.dump(start, count)

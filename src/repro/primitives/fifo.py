@@ -1,0 +1,104 @@
+"""Synchronous FIFO core.
+
+Models the on-chip FIFO macros "commonly found in FPGA designs" that the
+paper binds its read/write buffer and queue containers to.  The model is a
+first-word-fall-through (FWFT) FIFO: when the FIFO is not empty, ``dout``
+combinationally presents the head element and a one-cycle ``pop`` strobe
+consumes it.  ``push`` writes ``din`` when the FIFO is not full.  Simultaneous
+push and pop are supported.
+"""
+
+from __future__ import annotations
+
+from ..rtl import Component, clog2
+
+
+class SyncFIFO(Component):
+    """Synchronous first-word-fall-through FIFO.
+
+    Ports
+    -----
+    push : in
+        Write strobe; ``din`` is stored when ``full`` is low.
+    din : in
+        Data to write.
+    pop : in
+        Read strobe; the head element is discarded when ``empty`` is low.
+    dout : out
+        Head element (valid whenever ``empty`` is low).
+    empty, full : out
+        Status flags.
+    count : out
+        Current occupancy.
+    """
+
+    def __init__(self, name: str, depth: int, width: int) -> None:
+        super().__init__(name)
+        if depth < 2:
+            raise ValueError(f"FIFO depth must be >= 2, got {depth}")
+        self.depth = depth
+        self.width = width
+
+        addr_width = clog2(depth)
+        count_width = clog2(depth + 1)
+
+        # Control/data inputs (driven by the environment).
+        self.push = self.signal(1, name=f"{name}_push")
+        self.pop = self.signal(1, name=f"{name}_pop")
+        self.din = self.signal(width, name=f"{name}_din")
+
+        # Outputs.
+        self.dout = self.signal(width, name=f"{name}_dout")
+        self.empty = self.signal(1, init=1, name=f"{name}_empty")
+        self.full = self.signal(1, name=f"{name}_full")
+        self.count = self.signal(count_width, name=f"{name}_count")
+
+        # Internal state.
+        self._mem = self.memory(depth, width, name=f"{name}_mem")
+        self._rd_ptr = self.state(addr_width, name=f"{name}_rd_ptr")
+        self._wr_ptr = self.state(addr_width, name=f"{name}_wr_ptr")
+        self._occupancy = self.state(count_width, name=f"{name}_occupancy")
+
+        # Counters pushed/popped over the whole simulation (observability only).
+        self.total_pushed = 0
+        self.total_popped = 0
+
+        @self.comb
+        def outputs() -> None:
+            occ = self._occupancy.value
+            self.empty.next = 1 if occ == 0 else 0
+            self.full.next = 1 if occ == self.depth else 0
+            self.count.next = occ
+            self.dout.next = self._mem[self._rd_ptr.value]
+
+        @self.seq
+        def update() -> None:
+            occ = self._occupancy.value
+            do_push = self.push.value and occ < self.depth
+            do_pop = self.pop.value and occ > 0
+            if do_push:
+                self._mem[self._wr_ptr.value] = self.din.value
+                self._wr_ptr.next = (self._wr_ptr.value + 1) % self.depth
+                self.total_pushed += 1
+            if do_pop:
+                self._rd_ptr.next = (self._rd_ptr.value + 1) % self.depth
+                self.total_popped += 1
+            self._occupancy.next = occ + (1 if do_push else 0) - (1 if do_pop else 0)
+
+    # -- behavioural conveniences (for test benches) ---------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Number of elements currently stored."""
+        return self._occupancy.value
+
+    def peek(self) -> int:
+        """The head value (meaningful only when not empty)."""
+        return self._mem[self._rd_ptr.value]
+
+    def contents(self) -> list:
+        """A copy of the stored elements, head first."""
+        return [
+            self._mem[(self._rd_ptr.value + i) % self.depth]
+            for i in range(self._occupancy.value)
+        ]

@@ -1,0 +1,92 @@
+"""Synchronous LIFO (hardware stack) core.
+
+The paper notes that "queues and read/write buffers can also be mapped over
+LIFOs" and that stacks map naturally onto them.  The model exposes the same
+strobe-style interface as :class:`repro.primitives.fifo.SyncFIFO`, but with
+last-in-first-out ordering: ``dout`` presents the most recently pushed
+element.
+"""
+
+from __future__ import annotations
+
+from ..rtl import Component, clog2
+
+
+class SyncLIFO(Component):
+    """Synchronous LIFO with combinational top-of-stack output.
+
+    Ports
+    -----
+    push, din : in
+        Push ``din`` when ``full`` is low.
+    pop : in
+        Discard the top element when ``empty`` is low.
+    dout : out
+        Top element (valid when ``empty`` is low).
+    empty, full, count : out
+        Status.
+    """
+
+    def __init__(self, name: str, depth: int, width: int) -> None:
+        super().__init__(name)
+        if depth < 2:
+            raise ValueError(f"LIFO depth must be >= 2, got {depth}")
+        self.depth = depth
+        self.width = width
+
+        count_width = clog2(depth + 1)
+
+        self.push = self.signal(1, name=f"{name}_push")
+        self.pop = self.signal(1, name=f"{name}_pop")
+        self.din = self.signal(width, name=f"{name}_din")
+
+        self.dout = self.signal(width, name=f"{name}_dout")
+        self.empty = self.signal(1, init=1, name=f"{name}_empty")
+        self.full = self.signal(1, name=f"{name}_full")
+        self.count = self.signal(count_width, name=f"{name}_count")
+
+        self._mem = self.memory(depth, width, name=f"{name}_mem")
+        self._sp = self.state(count_width, name=f"{name}_sp")
+
+        self.total_pushed = 0
+        self.total_popped = 0
+
+        @self.comb
+        def outputs() -> None:
+            sp = self._sp.value
+            self.empty.next = 1 if sp == 0 else 0
+            self.full.next = 1 if sp == self.depth else 0
+            self.count.next = sp
+            self.dout.next = self._mem[sp - 1] if sp > 0 else 0
+
+        @self.seq
+        def update() -> None:
+            sp = self._sp.value
+            do_push = self.push.value and sp < self.depth
+            do_pop = self.pop.value and sp > 0
+            if do_push and do_pop:
+                # Replace the top element: net stack-pointer change is zero.
+                self._mem[sp - 1] = self.din.value
+                self.total_pushed += 1
+                self.total_popped += 1
+            elif do_push:
+                self._mem[sp] = self.din.value
+                self._sp.next = sp + 1
+                self.total_pushed += 1
+            elif do_pop:
+                self._sp.next = sp - 1
+                self.total_popped += 1
+
+    @property
+    def occupancy(self) -> int:
+        """Number of elements currently stored."""
+        return self._sp.value
+
+    def peek(self) -> int:
+        """The top-of-stack value (meaningful only when not empty)."""
+        sp = self._sp.value
+        return self._mem[sp - 1] if sp > 0 else 0
+
+    def contents(self) -> list:
+        """A copy of the stored elements, bottom first."""
+        return [self._mem[i] for i in range(self._sp.value)]

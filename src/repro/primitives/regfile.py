@@ -1,0 +1,166 @@
+"""Register file and content-addressable memory primitives.
+
+Small containers (the associative array of Table 1, short vectors) are bound
+to register-based storage rather than RAM blocks.  The register file provides
+combinational read and synchronous write; the CAM adds parallel key matching,
+which is the natural hardware realisation of the associative-array container.
+"""
+
+from __future__ import annotations
+
+from ..rtl import Component, clog2
+
+
+class RegisterFile(Component):
+    """Register file with one synchronous write port and one combinational read port.
+
+    Ports
+    -----
+    wen, waddr, wdata : in
+        Write port.
+    raddr : in
+    rdata : out
+        Combinational read data.
+    """
+
+    def __init__(self, name: str, depth: int, width: int) -> None:
+        super().__init__(name)
+        if depth < 2:
+            raise ValueError(f"register file depth must be >= 2, got {depth}")
+        self.depth = depth
+        self.width = width
+        self.addr_width = clog2(depth)
+
+        self.wen = self.signal(1, name=f"{name}_wen")
+        self.waddr = self.signal(self.addr_width, name=f"{name}_waddr")
+        self.wdata = self.signal(width, name=f"{name}_wdata")
+        self.raddr = self.signal(self.addr_width, name=f"{name}_raddr")
+        self.rdata = self.signal(width, name=f"{name}_rdata")
+
+        # A register file is flip-flop storage, so declare one register per word.
+        self._regs = [
+            self.state(width, name=f"{name}_reg{i}") for i in range(depth)]
+
+        @self.comb
+        def read_port() -> None:
+            self.rdata.next = self._regs[self.raddr.value % self.depth].value
+
+        @self.seq
+        def write_port() -> None:
+            if self.wen.value:
+                self._regs[self.waddr.value % self.depth].next = self.wdata.value
+
+    def read_word(self, addr: int) -> int:
+        """Backdoor read for test benches."""
+        return self._regs[addr % self.depth].value
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Backdoor write for test benches."""
+        self._regs[addr % self.depth].force(value)
+
+    def dump(self) -> list:
+        """Return a copy of all register contents."""
+        return [reg.value for reg in self._regs]
+
+
+class ContentAddressableMemory(Component):
+    """Small CAM storing (key, value) pairs with single-cycle parallel lookup.
+
+    Ports
+    -----
+    lookup_key : in
+        Key compared against all valid entries combinationally.
+    hit : out
+        High when some valid entry matches ``lookup_key``.
+    hit_value : out
+        The value of the matching entry (lowest-index match wins).
+    insert, insert_key, insert_value : in
+        Synchronous insert/update: an existing key is updated in place,
+        otherwise a free entry is allocated.
+    remove, remove_key : in
+        Synchronous invalidation of a matching entry.
+    full : out
+        High when every entry is valid.
+    """
+
+    def __init__(self, name: str, depth: int, key_width: int, value_width: int) -> None:
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError(f"CAM depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.key_width = key_width
+        self.value_width = value_width
+
+        self.lookup_key = self.signal(key_width, name=f"{name}_lookup_key")
+        self.hit = self.signal(1, name=f"{name}_hit")
+        self.hit_value = self.signal(value_width, name=f"{name}_hit_value")
+
+        self.insert = self.signal(1, name=f"{name}_insert")
+        self.insert_key = self.signal(key_width, name=f"{name}_insert_key")
+        self.insert_value = self.signal(value_width, name=f"{name}_insert_value")
+
+        self.remove = self.signal(1, name=f"{name}_remove")
+        self.remove_key = self.signal(key_width, name=f"{name}_remove_key")
+
+        self.full = self.signal(1, name=f"{name}_full")
+        self.count = self.signal(max(1, clog2(depth + 1)), name=f"{name}_count")
+
+        self._keys = [self.state(key_width, name=f"{name}_key{i}") for i in range(depth)]
+        self._values = [self.state(value_width, name=f"{name}_val{i}") for i in range(depth)]
+        self._valid = [self.state(1, name=f"{name}_valid{i}") for i in range(depth)]
+
+        @self.comb
+        def match() -> None:
+            found = False
+            found_value = 0
+            valid_count = 0
+            for i in range(self.depth):
+                if self._valid[i].value:
+                    valid_count += 1
+                    if not found and self._keys[i].value == self.lookup_key.value:
+                        found = True
+                        found_value = self._values[i].value
+            self.hit.next = 1 if found else 0
+            self.hit_value.next = found_value
+            self.full.next = 1 if valid_count == self.depth else 0
+            self.count.next = valid_count
+
+        @self.seq
+        def update() -> None:
+            if self.remove.value:
+                for i in range(self.depth):
+                    if (self._valid[i].value
+                            and self._keys[i].value == self.remove_key.value):
+                        self._valid[i].next = 0
+                        break
+            if self.insert.value:
+                target = -1
+                for i in range(self.depth):
+                    if (self._valid[i].value
+                            and self._keys[i].value == self.insert_key.value):
+                        target = i
+                        break
+                if target < 0:
+                    for i in range(self.depth):
+                        if not self._valid[i].value:
+                            target = i
+                            break
+                if target >= 0:
+                    self._keys[target].next = self.insert_key.value
+                    self._values[target].next = self.insert_value.value
+                    self._valid[target].next = 1
+
+    # -- test-bench conveniences ----------------------------------------------------
+
+    def entries(self) -> dict:
+        """Return a dict of the currently valid (key, value) pairs."""
+        return {
+            self._keys[i].value: self._values[i].value
+            for i in range(self.depth)
+            if self._valid[i].value
+        }
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries."""
+        return sum(1 for v in self._valid if v.value)

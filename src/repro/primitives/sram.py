@@ -1,0 +1,124 @@
+"""External asynchronous SRAM model with a req/ack handshake.
+
+The XSB-300E board used in the paper carries external static RAM; containers
+bound to it go through an access protocol with ``p_addr``, ``p_data``,
+``req`` and ``ack`` ports (Figure 5).  This model reproduces that handshake
+with a configurable access latency, so the performance difference between the
+FIFO binding ("maximum performance at the highest cost") and the SRAM binding
+("much smaller, but performance will depend on memory access times") is
+visible in simulation.
+
+Protocol (4-phase):
+
+1. The requester drives ``addr`` (and ``wdata``/``we`` for writes) and raises
+   ``req``.
+2. After ``latency`` cycles the SRAM performs the access, presents read data
+   on ``rdata`` and raises ``ack``.
+3. The requester captures the data and lowers ``req``.
+4. The SRAM lowers ``ack`` and becomes ready for the next access.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rtl import Component, FSM, clog2
+
+
+class AsyncSRAM(Component):
+    """Single-port external SRAM with req/ack handshake.
+
+    Parameters
+    ----------
+    depth, width:
+        Geometry of the memory.
+    latency:
+        Number of cycles between ``req`` rising and ``ack`` rising.
+        ``latency=1`` models fast SRAM; larger values model slower parts or
+        shared buses.
+    """
+
+    #: The SRAM chip sits off-chip: the synthesis estimator counts neither its
+    #: storage bits nor its behavioural-model registers as FPGA resources.
+    external = True
+
+    def __init__(self, name: str, depth: int, width: int, latency: int = 2,
+                 init: Optional[List[int]] = None) -> None:
+        super().__init__(name)
+        if depth < 2:
+            raise ValueError(f"SRAM depth must be >= 2, got {depth}")
+        if latency < 1:
+            raise ValueError(f"SRAM latency must be >= 1, got {latency}")
+        self.depth = depth
+        self.width = width
+        self.latency = latency
+
+        addr_width = clog2(depth)
+        self.addr_width = addr_width
+
+        # Requester-facing ports.
+        self.addr = self.signal(addr_width, name=f"{name}_addr")
+        self.wdata = self.signal(width, name=f"{name}_wdata")
+        self.we = self.signal(1, name=f"{name}_we")
+        self.req = self.signal(1, name=f"{name}_req")
+        self.ack = self.signal(1, name=f"{name}_ack")
+        self.rdata = self.signal(width, name=f"{name}_rdata")
+
+        self._mem = self.memory(depth, width, name=f"{name}_mem", init=init)
+        self._wait = self.state(max(1, clog2(latency + 1)), name=f"{name}_wait")
+        self._fsm = FSM(self, ["IDLE", "ACCESS", "HOLD"], name=f"{name}_ctrl")
+
+        # Observability counters.
+        self.total_reads = 0
+        self.total_writes = 0
+
+        @self.seq
+        def control() -> None:
+            fsm = self._fsm
+            if fsm.is_in("IDLE"):
+                if self.req.value:
+                    if self.latency == 1:
+                        self._complete_access()
+                        fsm.goto("HOLD")
+                    else:
+                        self._wait.next = self.latency - 1
+                        fsm.goto("ACCESS")
+            elif fsm.is_in("ACCESS"):
+                remaining = self._wait.value
+                if remaining <= 1:
+                    self._complete_access()
+                    fsm.goto("HOLD")
+                else:
+                    self._wait.next = remaining - 1
+            elif fsm.is_in("HOLD"):
+                if not self.req.value:
+                    self.ack.next = 0
+                    fsm.goto("IDLE")
+
+    def _complete_access(self) -> None:
+        address = self.addr.value
+        if self.we.value:
+            self._mem[address] = self.wdata.value
+            self.total_writes += 1
+        else:
+            self.total_reads += 1
+        self.rdata.next = self._mem[address]
+        self.ack.next = 1
+
+    # -- test-bench conveniences -------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        """Direct (zero-time) backdoor read, for checking results in tests."""
+        return self._mem[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Direct (zero-time) backdoor write, for preloading test data."""
+        self._mem[addr] = value
+
+    def load(self, values: List[int], offset: int = 0) -> None:
+        """Preload a block of words starting at ``offset``."""
+        self._mem.load(values, offset)
+
+    def dump(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        """Return a copy of ``count`` words starting at ``start``."""
+        return self._mem.dump(start, count)

@@ -1,0 +1,288 @@
+"""Fixed-width unsigned integer values with hardware-like semantics.
+
+:class:`Bits` models the value carried by a hardware signal or stored in a
+register: it has an explicit bit width, wraps on overflow, and supports bit
+and slice extraction as well as concatenation.  It is deliberately a *value*
+type (immutable), so it can be freely shared between signals.
+
+The arithmetic semantics follow what a synthesis tool produces for unsigned
+vectors: all operations are performed modulo ``2 ** width`` of the left-hand
+operand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from .errors import WidthError
+
+IntLike = Union[int, "Bits"]
+
+
+def mask(width: int) -> int:
+    """Return the bit mask for ``width`` bits (``0b111...1``)."""
+    if width < 0:
+        raise WidthError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bits_for(value: int) -> int:
+    """Return the minimum number of bits needed to represent ``value``.
+
+    ``bits_for(0)`` is 1 so that a register holding only zero still has a
+    physical width.
+    """
+    if value < 0:
+        raise WidthError(f"bits_for expects a non-negative value, got {value}")
+    return max(1, value.bit_length())
+
+
+def clog2(value: int) -> int:
+    """Ceiling log2, as used for address-width computation.
+
+    ``clog2(1)`` is 0 (a single-entry memory needs no address bits) and
+    ``clog2(depth)`` for ``depth > 1`` is the number of address bits needed to
+    index ``depth`` locations.
+    """
+    if value <= 0:
+        raise WidthError(f"clog2 expects a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+class Bits:
+    """An immutable fixed-width unsigned integer.
+
+    Parameters
+    ----------
+    width:
+        The number of bits.  Must be at least 1.
+    value:
+        The initial value; it is truncated (wrapped) to ``width`` bits.
+    """
+
+    __slots__ = ("_width", "_value")
+
+    def __init__(self, width: int, value: IntLike = 0) -> None:
+        if width < 1:
+            raise WidthError(f"Bits width must be >= 1, got {width}")
+        self._width = int(width)
+        self._value = int(value) & mask(self._width)
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """The declared bit width."""
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """The value as a plain non-negative ``int``."""
+        return self._value
+
+    @property
+    def max(self) -> int:
+        """The largest representable value, ``2**width - 1``."""
+        return mask(self._width)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._value))
+
+    def __repr__(self) -> str:
+        return f"Bits({self._width}, 0x{self._value:x})"
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def from_signed(cls, width: int, value: int) -> "Bits":
+        """Build from a signed integer using two's-complement wrapping."""
+        return cls(width, value & mask(width))
+
+    def signed(self) -> int:
+        """Interpret the value as a two's-complement signed integer."""
+        if self._value & (1 << (self._width - 1)):
+            return self._value - (1 << self._width)
+        return self._value
+
+    def resize(self, width: int) -> "Bits":
+        """Return a copy truncated or zero-extended to ``width`` bits."""
+        return Bits(width, self._value)
+
+    # -- bit and slice access ---------------------------------------------
+
+    def __getitem__(self, key) -> "Bits":
+        if isinstance(key, slice):
+            # Hardware-style slice: b[msb:lsb] inclusive on both ends, with
+            # msb >= lsb.  Plain Python ``b[a:b]`` with a < b is rejected to
+            # avoid silent confusion.
+            if key.step is not None:
+                raise WidthError("Bits slices do not support a step")
+            msb = self._width - 1 if key.start is None else int(key.start)
+            lsb = 0 if key.stop is None else int(key.stop)
+            if msb < lsb:
+                raise WidthError(
+                    f"Bits slice expects [msb:lsb] with msb >= lsb, got [{msb}:{lsb}]"
+                )
+            if msb >= self._width or lsb < 0:
+                raise WidthError(
+                    f"slice [{msb}:{lsb}] out of range for width {self._width}"
+                )
+            width = msb - lsb + 1
+            return Bits(width, (self._value >> lsb) & mask(width))
+        index = int(key)
+        if index < 0:
+            index += self._width
+        if not 0 <= index < self._width:
+            raise WidthError(f"bit index {key} out of range for width {self._width}")
+        return Bits(1, (self._value >> index) & 1)
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` as a plain int (0 or 1)."""
+        return int(self[index])
+
+    def concat(self, *others: "Bits") -> "Bits":
+        """Concatenate ``self`` (most significant) with ``others`` (less significant)."""
+        width = self._width
+        value = self._value
+        for other in others:
+            width += other.width
+            value = (value << other.width) | other.value
+        return Bits(width, value)
+
+    @staticmethod
+    def join(parts: Iterable["Bits"]) -> "Bits":
+        """Concatenate an iterable of :class:`Bits`, first element most significant."""
+        items = list(parts)
+        if not items:
+            raise WidthError("Bits.join needs at least one element")
+        head, *tail = items
+        return head.concat(*tail)
+
+    def replicate(self, count: int) -> "Bits":
+        """Return ``count`` copies of this value concatenated together."""
+        if count < 1:
+            raise WidthError(f"replicate count must be >= 1, got {count}")
+        return Bits.join([self] * count)
+
+    def split(self, part_width: int) -> list:
+        """Split into chunks of ``part_width`` bits, most significant first.
+
+        The total width must be a multiple of ``part_width``; this mirrors
+        the width-adaptation performed by the code generator when a wide data
+        value is moved over a narrow bus.
+        """
+        if part_width < 1:
+            raise WidthError(f"part width must be >= 1, got {part_width}")
+        if self._width % part_width:
+            raise WidthError(
+                f"cannot split {self._width} bits into {part_width}-bit parts"
+            )
+        count = self._width // part_width
+        return [
+            Bits(part_width, (self._value >> (part_width * i)) & mask(part_width))
+            for i in reversed(range(count))
+        ]
+
+    # -- arithmetic (modulo 2**width of the left operand) ------------------
+
+    def _coerce(self, other: IntLike) -> int:
+        return int(other)
+
+    def __add__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value + self._coerce(other))
+
+    def __radd__(self, other: int) -> "Bits":
+        return Bits(self._width, other + self._value)
+
+    def __sub__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value - self._coerce(other))
+
+    def __rsub__(self, other: int) -> "Bits":
+        return Bits(self._width, other - self._value)
+
+    def __mul__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value * self._coerce(other))
+
+    def __rmul__(self, other: int) -> "Bits":
+        return Bits(self._width, other * self._value)
+
+    def __floordiv__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value // self._coerce(other))
+
+    def __mod__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value % self._coerce(other))
+
+    def __lshift__(self, amount: int) -> "Bits":
+        return Bits(self._width, self._value << int(amount))
+
+    def __rshift__(self, amount: int) -> "Bits":
+        return Bits(self._width, self._value >> int(amount))
+
+    def __and__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value & self._coerce(other))
+
+    def __rand__(self, other: int) -> "Bits":
+        return self.__and__(other)
+
+    def __or__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value | self._coerce(other))
+
+    def __ror__(self, other: int) -> "Bits":
+        return self.__or__(other)
+
+    def __xor__(self, other: IntLike) -> "Bits":
+        return Bits(self._width, self._value ^ self._coerce(other))
+
+    def __rxor__(self, other: int) -> "Bits":
+        return self.__xor__(other)
+
+    def __invert__(self) -> "Bits":
+        return Bits(self._width, ~self._value)
+
+    # -- comparisons (by value, width is not part of equality) -------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Bits)):
+            return self._value == int(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: IntLike) -> bool:
+        return self._value < int(other)
+
+    def __le__(self, other: IntLike) -> bool:
+        return self._value <= int(other)
+
+    def __gt__(self, other: IntLike) -> bool:
+        return self._value > int(other)
+
+    def __ge__(self, other: IntLike) -> bool:
+        return self._value >= int(other)
+
+    # -- formatting ---------------------------------------------------------
+
+    def bin(self) -> str:
+        """Binary string padded to the full width (no ``0b`` prefix)."""
+        return format(self._value, f"0{self._width}b")
+
+    def hex(self) -> str:
+        """Hexadecimal string padded to the full width (no ``0x`` prefix)."""
+        digits = (self._width + 3) // 4
+        return format(self._value, f"0{digits}x")

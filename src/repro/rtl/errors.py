@@ -1,0 +1,36 @@
+"""Exception hierarchy for the RTL modelling kernel.
+
+All kernel-level failures derive from :class:`RTLError` so library users can
+catch modelling problems separately from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class RTLError(Exception):
+    """Base class for all errors raised by the RTL kernel."""
+
+
+class WidthError(RTLError):
+    """A value does not fit in the declared signal width, or widths mismatch."""
+
+
+class CombinationalLoopError(RTLError):
+    """Combinational settling did not reach a fixed point.
+
+    Raised by the simulator when the combinational processes keep changing
+    signal values after the configured maximum number of delta iterations.
+    This almost always indicates a combinational feedback loop in the model.
+    """
+
+
+class ElaborationError(RTLError):
+    """The component hierarchy is malformed (duplicate names, reparenting...)."""
+
+
+class SimulationError(RTLError):
+    """A runtime failure during simulation (e.g. protocol violation)."""
+
+
+class PortError(RTLError):
+    """A port connection is missing or inconsistent."""

@@ -1,0 +1,143 @@
+"""Two-phase cycle-accurate simulator.
+
+Every synchronous design in the reproduced paper is a collection of clocked
+FSMs and memories connected by combinational glue.  The simulator therefore
+uses a two-phase evaluation per clock cycle:
+
+1. **Settle**: all combinational processes are evaluated repeatedly, with
+   pending signal values committed after each pass, until no signal changes
+   (a fixed point).  Exceeding ``max_settle`` iterations raises
+   :class:`CombinationalLoopError`.
+2. **Clock edge**: all sequential processes run exactly once, observing the
+   settled values; their pending assignments are then committed, followed by
+   another settle phase so outputs reflect the new state within the same
+   reported cycle boundary.
+
+This is the classic "evaluate/update" discipline of cycle-based simulators
+(PyMTL CL, Verilator's eval loop) and is sufficient for the FSM + memory
+designs of the paper, while remaining easy to reason about and to test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .component import Component
+from .errors import CombinationalLoopError, SimulationError
+from .signal import Signal
+
+
+class Simulator:
+    """Drive a component hierarchy through clock cycles.
+
+    Parameters
+    ----------
+    top:
+        The root component.  All descendants' processes and signals are
+        gathered at construction time; building structure after the simulator
+        is created requires constructing a new simulator.
+    max_settle:
+        Maximum number of combinational delta iterations per settle phase.
+    max_cycles:
+        A global safety limit for :meth:`run_until`.
+    """
+
+    def __init__(self, top: Component, max_settle: int = 64,
+                 max_cycles: int = 10_000_000) -> None:
+        self.top = top
+        self.max_settle = max_settle
+        self.max_cycles = max_cycles
+        self._comb = top.all_comb_procs()
+        self._seq = top.all_seq_procs()
+        self._signals = top.all_signals()
+        self._cycles = 0
+        self._watchers: List[Callable[[int], None]] = []
+        # Initial settle so combinational outputs are valid before cycle 0.
+        self._settle()
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Number of clock cycles executed so far."""
+        return self._cycles
+
+    def add_watcher(self, func: Callable[[int], None]) -> None:
+        """Register a callable invoked after every cycle with the cycle index.
+
+        Used by tracers and test benches to sample signals.
+        """
+        self._watchers.append(func)
+
+    # -- core evaluation ----------------------------------------------------------
+
+    def _commit_all(self) -> bool:
+        changed = False
+        for sig in self._signals:
+            if sig.commit():
+                changed = True
+        return changed
+
+    def _settle(self) -> int:
+        """Run combinational processes to a fixed point.
+
+        Returns the number of delta iterations used.
+        """
+        for iteration in range(1, self.max_settle + 1):
+            for proc in self._comb:
+                proc()
+            if not self._commit_all():
+                return iteration
+        raise CombinationalLoopError(
+            f"combinational network did not settle after {self.max_settle} "
+            f"iterations (cycle {self._cycles})")
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the design by ``cycles`` clock cycles."""
+        if cycles < 0:
+            raise SimulationError(f"cannot step a negative number of cycles: {cycles}")
+        for _ in range(cycles):
+            self._settle()
+            for proc in self._seq:
+                proc()
+            self._commit_all()
+            self._settle()
+            self._cycles += 1
+            for watcher in self._watchers:
+                watcher(self._cycles)
+
+    def run_until(self, condition: Callable[[], bool],
+                  max_cycles: Optional[int] = None) -> int:
+        """Step until ``condition()`` is true; return the cycles consumed.
+
+        Raises :class:`SimulationError` if the condition does not become true
+        within the cycle budget — silent infinite simulations are always bugs.
+        """
+        budget = self.max_cycles if max_cycles is None else max_cycles
+        start = self._cycles
+        while not condition():
+            if self._cycles - start >= budget:
+                raise SimulationError(
+                    f"condition not reached within {budget} cycles")
+            self.step()
+        return self._cycles - start
+
+    def settle(self) -> int:
+        """Expose a settle-only evaluation (useful after forcing signals)."""
+        return self._settle()
+
+    def reset(self) -> None:
+        """Reset all state and the cycle counter, then re-settle."""
+        self.top.reset_state()
+        self._cycles = 0
+        self._settle()
+
+
+def pulse(sim: Simulator, sig: Signal, cycles: int = 1, value: int = 1) -> None:
+    """Drive ``sig`` to ``value`` for ``cycles`` cycles, then back to zero.
+
+    A small test-bench convenience for strobe-style control inputs.
+    """
+    sig.force(value)
+    sim.step(cycles)
+    sig.force(0)

@@ -1,0 +1,48 @@
+"""Synthesis-estimation subsystem: the offline substitute for the paper's FPGA flow.
+
+Provides the Spartan-IIE / XSB-300E target model, a structural resource
+estimator (FFs, LUTs, block RAMs, fmax) with wrapper dissolution, report
+formatting in the paper's Table-3 style, and the design-space
+characterisation harness of Section 3.4.
+"""
+
+from .characterize import (
+    CharacterizationPoint,
+    characterize_buffer_binding,
+    characterize_design_space,
+    estimate_power_mw,
+    measure_stream_cycles_per_element,
+    pareto_front,
+)
+from .estimator import (
+    ComponentEstimate,
+    EstimateReport,
+    ResourceEstimator,
+    Resources,
+    estimate_design,
+)
+from .report import DesignComparison, format_table, overhead_summary, table3
+from .target import XC2S300E, XSB300E, TargetBoard, TargetDevice, default_target
+
+__all__ = [
+    "TargetDevice",
+    "TargetBoard",
+    "XC2S300E",
+    "XSB300E",
+    "default_target",
+    "Resources",
+    "ComponentEstimate",
+    "EstimateReport",
+    "ResourceEstimator",
+    "estimate_design",
+    "DesignComparison",
+    "format_table",
+    "table3",
+    "overhead_summary",
+    "CharacterizationPoint",
+    "characterize_buffer_binding",
+    "characterize_design_space",
+    "measure_stream_cycles_per_element",
+    "estimate_power_mw",
+    "pareto_front",
+]

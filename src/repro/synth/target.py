@@ -1,0 +1,95 @@
+"""Target platform models.
+
+The paper's experiments target the XESS XSB-300E prototyping board, whose
+FPGA is a Xilinx Spartan-IIE XC2S300E and which also carries external
+asynchronous SRAM.  Since no synthesis tool is available offline, the
+reproduction models the *capacity and timing characteristics* of that target
+so the resource estimator can express its results in the same units as
+Table 3 (flip-flops, 4-input LUTs, 4-kbit block RAMs, clock MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TargetDevice:
+    """Capacity and timing model of an FPGA device."""
+
+    name: str
+    #: Total number of flip-flops available.
+    total_ffs: int
+    #: Total number of 4-input LUTs available.
+    total_luts: int
+    #: Number of block RAMs and their size in bits.
+    total_brams: int
+    bram_bits: int
+    #: Memories at or above this many bits are mapped to block RAM; smaller
+    #: ones are implemented in distributed (LUT) RAM.
+    bram_threshold_bits: int
+    #: Base clock period achievable by a shallow (3-level) synchronous path,
+    #: in nanoseconds, and the incremental cost per extra logic level.
+    base_period_ns: float
+    period_per_level_ns: float
+    #: Extra period incurred by paths that cross the external memory interface.
+    external_io_penalty_ns: float
+
+    def bram_blocks_for(self, bits: int) -> int:
+        """Number of block RAMs needed to hold ``bits`` of storage."""
+        if bits <= 0:
+            return 0
+        return -(-bits // self.bram_bits)
+
+    def fmax_mhz(self, logic_levels: int, uses_external_memory: bool) -> float:
+        """Estimated maximum clock frequency for a design."""
+        period = self.base_period_ns
+        period += self.period_per_level_ns * max(0, logic_levels - 3)
+        if uses_external_memory:
+            period += self.external_io_penalty_ns
+        return round(1000.0 / period, 1)
+
+
+@dataclass(frozen=True)
+class TargetBoard:
+    """A prototyping board: an FPGA plus off-chip memories."""
+
+    name: str
+    device: TargetDevice
+    #: Name -> size in bits of the external memories available on the board.
+    external_memories: Dict[str, int] = field(default_factory=dict)
+
+    def external_capacity_bits(self) -> int:
+        """Total off-chip storage available."""
+        return sum(self.external_memories.values())
+
+
+#: Xilinx Spartan-IIE XC2S300E (the FPGA of the XSB-300E board):
+#: 3072 slices = 6144 LUTs / 6144 FFs, 16 x 4-kbit block RAMs.
+XC2S300E = TargetDevice(
+    name="XC2S300E",
+    total_ffs=6144,
+    total_luts=6144,
+    total_brams=16,
+    bram_bits=4096,
+    bram_threshold_bits=2048,
+    base_period_ns=10.2,
+    period_per_level_ns=0.3,
+    external_io_penalty_ns=0.45,
+)
+
+#: The XESS XSB-300E board: the XC2S300E plus 2 x 256K x 16 external SRAM.
+XSB300E = TargetBoard(
+    name="XSB-300E",
+    device=XC2S300E,
+    external_memories={
+        "sram_bank0": 256 * 1024 * 16,
+        "sram_bank1": 256 * 1024 * 16,
+    },
+)
+
+
+def default_target() -> TargetBoard:
+    """The board used throughout the reproduction (XSB-300E, as in the paper)."""
+    return XSB300E

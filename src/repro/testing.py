@@ -1,0 +1,160 @@
+"""Test-bench helpers.
+
+Small, reusable drivers for the library's stream and iterator protocols, used
+by the unit/integration tests and the benchmarks.  They manipulate interface
+signals directly with :meth:`Signal.force` around simulator steps, which is
+the intended way for non-synthesisable test benches to talk to a design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .core.interfaces import IteratorIface, StreamSinkIface, StreamSourceIface
+from .rtl import SimulationError, Simulator
+
+
+def stream_feed_and_drain(sim: Simulator, fill: StreamSinkIface,
+                          drain: StreamSourceIface, data: Sequence[int],
+                          expected: Optional[int] = None,
+                          max_cycles: int = 100_000) -> List[int]:
+    """Push ``data`` into ``fill`` while draining ``drain``; return what came out.
+
+    The feeder honours ``ready`` back-pressure and the drainer accepts an
+    element whenever ``valid`` is high.  Stops once ``expected`` elements
+    (default: ``len(data)``) have been received.
+    """
+    if expected is None:
+        expected = len(data)
+    received: List[int] = []
+    index = 0
+    for _ in range(max_cycles):
+        if index < len(data) and fill.ready.value:
+            fill.data.force(data[index])
+            fill.push.force(1)
+            index += 1
+        else:
+            fill.push.force(0)
+        if drain.valid.value:
+            received.append(drain.data.value)
+            drain.pop.force(1)
+        else:
+            drain.pop.force(0)
+        sim.step()
+        if len(received) >= expected:
+            fill.push.force(0)
+            drain.pop.force(0)
+            return received
+    raise SimulationError(
+        f"only {len(received)}/{expected} elements received after {max_cycles} cycles")
+
+
+def stream_feed(sim: Simulator, fill: StreamSinkIface, data: Sequence[int],
+                max_cycles: int = 100_000) -> int:
+    """Push every element of ``data`` into ``fill``; return the cycles used."""
+    index = 0
+    start = sim.cycles
+    for _ in range(max_cycles):
+        if index >= len(data):
+            fill.push.force(0)
+            return sim.cycles - start
+        if fill.ready.value:
+            fill.data.force(data[index])
+            fill.push.force(1)
+            index += 1
+        else:
+            fill.push.force(0)
+        sim.step()
+    raise SimulationError(f"could not feed {len(data)} elements in {max_cycles} cycles")
+
+
+def stream_drain(sim: Simulator, drain: StreamSourceIface, count: int,
+                 max_cycles: int = 100_000) -> List[int]:
+    """Pop ``count`` elements from ``drain``; return them in arrival order."""
+    received: List[int] = []
+    for _ in range(max_cycles):
+        if drain.valid.value:
+            received.append(drain.data.value)
+            drain.pop.force(1)
+        else:
+            drain.pop.force(0)
+        sim.step()
+        if len(received) >= count:
+            drain.pop.force(0)
+            return received
+    raise SimulationError(
+        f"only {len(received)}/{count} elements drained after {max_cycles} cycles")
+
+
+def iterator_read(sim: Simulator, iface: IteratorIface, advance: bool = True,
+                  max_cycles: int = 1_000) -> int:
+    """Perform one read (optionally with ``inc``) through the done protocol."""
+    for _ in range(max_cycles):
+        if iface.can_read.value:
+            break
+        sim.step()
+    else:
+        raise SimulationError("iterator never became readable")
+    iface.read.force(1)
+    if advance:
+        iface.inc.force(1)
+    for _ in range(max_cycles):
+        # Settle first: single-cycle (stream) iterators report ``done``
+        # combinationally in the transfer cycle itself.
+        sim.settle()
+        if iface.done.value:
+            value = iface.rdata.value
+            sim.step()
+            iface.read.force(0)
+            iface.inc.force(0)
+            sim.step()
+            return value
+        sim.step()
+    raise SimulationError("iterator read did not complete")
+
+
+def iterator_write(sim: Simulator, iface: IteratorIface, value: int,
+                   advance: bool = True, max_cycles: int = 1_000) -> None:
+    """Perform one write (optionally with ``inc``) through the done protocol."""
+    for _ in range(max_cycles):
+        if iface.can_write.value:
+            break
+        sim.step()
+    else:
+        raise SimulationError("iterator never became writable")
+    iface.wdata.force(value)
+    iface.write.force(1)
+    if advance:
+        iface.inc.force(1)
+    for _ in range(max_cycles):
+        # Settle first: the ``done`` pulse of single-cycle iterators is only
+        # visible in the transfer cycle, before the clock edge retires it.
+        sim.settle()
+        if iface.done.value:
+            sim.step()
+            iface.write.force(0)
+            iface.inc.force(0)
+            sim.step()
+            return
+        sim.step()
+    raise SimulationError("iterator write did not complete")
+
+
+def iterator_seek(sim: Simulator, iface: IteratorIface, position: int,
+                  max_cycles: int = 1_000) -> None:
+    """Perform an ``index`` (seek) operation through the done protocol."""
+    iface.pos.force(position)
+    iface.index.force(1)
+    for _ in range(max_cycles):
+        sim.step()
+        if iface.done.value:
+            iface.index.force(0)
+            sim.step()
+            return
+    raise SimulationError("iterator index operation did not complete")
+
+
+def settle_condition(sim: Simulator, condition: Callable[[], bool],
+                     max_cycles: int = 100_000) -> int:
+    """Step until ``condition`` holds; return the number of cycles consumed."""
+    return sim.run_until(condition, max_cycles)

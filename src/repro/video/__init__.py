@@ -1,0 +1,57 @@
+"""Video substrate: synthetic stream source/sink, pixel formats and golden models.
+
+Substitutes for the camera, SAA711x video decoder, VGA coder and monitor of
+the original system (see DESIGN.md, substitution table).
+"""
+
+from .frames import (
+    Frame,
+    checkerboard_frame,
+    flatten,
+    frame_dimensions,
+    frames_equal,
+    golden_blur3x3,
+    golden_copy,
+    golden_map,
+    golden_sum,
+    gradient_frame,
+    random_frame,
+    unflatten,
+)
+from .pixel import (
+    GRAY8,
+    RGB24,
+    RGB565,
+    PixelFormat,
+    gray_to_rgb24,
+    join_word,
+    rgb24_to_gray,
+    split_word,
+)
+from .sink import VideoStreamSink
+from .source import VideoStreamSource
+
+__all__ = [
+    "Frame",
+    "gradient_frame",
+    "checkerboard_frame",
+    "random_frame",
+    "flatten",
+    "unflatten",
+    "frame_dimensions",
+    "frames_equal",
+    "golden_copy",
+    "golden_map",
+    "golden_blur3x3",
+    "golden_sum",
+    "PixelFormat",
+    "GRAY8",
+    "RGB24",
+    "RGB565",
+    "gray_to_rgb24",
+    "rgb24_to_gray",
+    "split_word",
+    "join_word",
+    "VideoStreamSource",
+    "VideoStreamSink",
+]

@@ -1,0 +1,105 @@
+"""Frame generation and golden (reference) image operators.
+
+The original system processes frames from a camera through a video decoder;
+as a substitution, deterministic synthetic frames are generated here and
+software golden models of the image algorithms provide bit-exact references
+against which the simulated hardware output is checked.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from ..core.algorithms.blur import blur_kernel
+
+Frame = List[List[int]]
+
+
+def gradient_frame(width: int, height: int, max_value: int = 255) -> Frame:
+    """A diagonal gradient: deterministic and spatially smooth (blur-friendly)."""
+    return [[(x + y) * max_value // max(1, (width + height - 2)) for x in range(width)]
+            for y in range(height)]
+
+
+def checkerboard_frame(width: int, height: int, tile: int = 4,
+                       low: int = 0, high: int = 255) -> Frame:
+    """A checkerboard: maximal local contrast, stresses filters and formats."""
+    return [[high if ((x // tile) + (y // tile)) % 2 else low for x in range(width)]
+            for y in range(height)]
+
+
+def random_frame(width: int, height: int, seed: int = 0,
+                 max_value: int = 255) -> Frame:
+    """A reproducible pseudo-random frame (seeded, so tests are deterministic)."""
+    rng = random.Random(seed)
+    return [[rng.randint(0, max_value) for _ in range(width)] for _ in range(height)]
+
+
+def flatten(frame: Frame) -> List[int]:
+    """Raster-scan a frame into the pixel stream order used by the designs."""
+    return [pixel for row in frame for pixel in row]
+
+
+def unflatten(pixels: List[int], width: int) -> Frame:
+    """Rebuild a frame from a raster-ordered pixel stream."""
+    if width < 1 or len(pixels) % width:
+        raise ValueError(
+            f"cannot reshape {len(pixels)} pixels into rows of {width}")
+    return [pixels[i:i + width] for i in range(0, len(pixels), width)]
+
+
+def frame_dimensions(frame: Frame) -> tuple:
+    """Return (width, height) of a frame, validating rectangularity."""
+    height = len(frame)
+    if height == 0:
+        raise ValueError("frame has no rows")
+    width = len(frame[0])
+    if any(len(row) != width for row in frame):
+        raise ValueError("frame rows have inconsistent widths")
+    return width, height
+
+
+# ---------------------------------------------------------------------------
+# Golden models
+# ---------------------------------------------------------------------------
+
+
+def golden_copy(frame: Frame) -> Frame:
+    """Reference for the stream copy algorithm: the identity."""
+    return [list(row) for row in frame]
+
+
+def golden_map(frame: Frame, func: Callable[[int], int]) -> Frame:
+    """Reference for element-wise transforms."""
+    return [[func(pixel) for pixel in row] for row in frame]
+
+
+def golden_blur3x3(frame: Frame) -> Frame:
+    """Reference for the 3x3 box blur: interior windows only.
+
+    A ``H x W`` input produces a ``(H-2) x (W-2)`` output, matching the
+    hardware pipeline which only emits pixels for fully-populated windows.
+    """
+    width, height = frame_dimensions(frame)
+    if width < 3 or height < 3:
+        raise ValueError("blur needs a frame of at least 3x3 pixels")
+    output: Frame = []
+    for y in range(1, height - 1):
+        row = []
+        for x in range(1, width - 1):
+            window = [frame[y + dy][x + dx]
+                      for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+            row.append(blur_kernel(window))
+        output.append(row)
+    return output
+
+
+def golden_sum(frame: Frame) -> int:
+    """Reference for the reduce (sum) algorithm."""
+    return sum(flatten(frame))
+
+
+def frames_equal(a: Frame, b: Frame) -> bool:
+    """Bit-exact frame comparison."""
+    return a == b

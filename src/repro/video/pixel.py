@@ -1,0 +1,96 @@
+"""Pixel formats.
+
+Section 3.3 discusses changing "the pixel data representation (from 8-bit
+grayscale to 24-bit RGB, for example)" and the two adaptation alternatives
+that follow from the memory data-bus width.  This module defines the formats
+involved, plus packing/unpacking helpers used by the width-adaptation logic
+of the code generator and by the video stream models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class PixelFormat:
+    """A pixel format: a name, a total bit width and named channels."""
+
+    name: str
+    width: int
+    channels: Tuple[str, ...]
+    channel_width: int
+
+    def pack(self, values: Tuple[int, ...]) -> int:
+        """Pack per-channel values (first channel most significant) into one word."""
+        if len(values) != len(self.channels):
+            raise ValueError(
+                f"{self.name} expects {len(self.channels)} channel values, "
+                f"got {len(values)}")
+        mask = (1 << self.channel_width) - 1
+        word = 0
+        for value in values:
+            word = (word << self.channel_width) | (int(value) & mask)
+        return word
+
+    def unpack(self, word: int) -> Tuple[int, ...]:
+        """Split a packed word back into per-channel values."""
+        mask = (1 << self.channel_width) - 1
+        values = []
+        for i in reversed(range(len(self.channels))):
+            values.append((word >> (i * self.channel_width)) & mask)
+        return tuple(values)
+
+    @property
+    def max_value(self) -> int:
+        """Largest packed value."""
+        return (1 << self.width) - 1
+
+
+#: 8-bit grayscale, the base format of the saa2vga designs.
+GRAY8 = PixelFormat(name="gray8", width=8, channels=("y",), channel_width=8)
+
+#: 24-bit RGB, the alternative format discussed in Section 3.3.
+RGB24 = PixelFormat(name="rgb24", width=24, channels=("r", "g", "b"),
+                    channel_width=8)
+
+#: 16-bit RGB565-style format, included to exercise non-multiple bus ratios.
+RGB565 = PixelFormat(name="rgb565", width=16, channels=("r", "g", "b"),
+                     channel_width=5)
+
+
+def gray_to_rgb24(gray: int) -> int:
+    """Expand an 8-bit grayscale value to a 24-bit RGB word."""
+    gray &= 0xFF
+    return RGB24.pack((gray, gray, gray))
+
+
+def rgb24_to_gray(word: int) -> int:
+    """Collapse a 24-bit RGB word to 8-bit luminance (integer average)."""
+    r, g, b = RGB24.unpack(word)
+    return (r + g + b) // 3
+
+
+def split_word(word: int, total_width: int, bus_width: int) -> List[int]:
+    """Split a ``total_width``-bit word into ``bus_width``-bit beats, MSB first.
+
+    This is exactly the transfer sequence the generated iterator performs when
+    the pixel is wider than the memory data bus ("three consecutive container
+    reads/writes to get/set the whole pixel").
+    """
+    if total_width % bus_width:
+        raise ValueError(
+            f"cannot split a {total_width}-bit value over a {bus_width}-bit bus")
+    beats = total_width // bus_width
+    mask = (1 << bus_width) - 1
+    return [(word >> (bus_width * i)) & mask for i in reversed(range(beats))]
+
+
+def join_word(beats: List[int], bus_width: int) -> int:
+    """Reassemble a word from ``bus_width``-bit beats, MSB first."""
+    mask = (1 << bus_width) - 1
+    word = 0
+    for beat in beats:
+        word = (word << bus_width) | (int(beat) & mask)
+    return word

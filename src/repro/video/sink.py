@@ -1,0 +1,79 @@
+"""Video stream sink: the VGA coder + monitor stand-in.
+
+The original system back-end is a VGA coder driving a monitor.  This
+component plays that role: it continuously drains the ``drain`` interface of
+a write-buffer container and records the received pixels, so test benches and
+benchmarks can reassemble output frames and compare them with golden models.
+
+An optional ``stall_period`` models a display that accepts pixels more slowly
+than the system clock, exercising back-pressure through the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.interfaces import StreamSourceIface
+from ..rtl import Component
+from .frames import Frame, unflatten
+
+
+class VideoStreamSink(Component):
+    """Drain a stream source interface and record every received pixel.
+
+    Parameters
+    ----------
+    source:
+        The ``drain`` interface of a write-buffer container (or any
+        :class:`StreamSourceIface`).
+    stall_period:
+        If greater than zero, a pixel is accepted only every
+        ``stall_period + 1`` cycles.
+    """
+
+    def __init__(self, name: str, source: StreamSourceIface,
+                 stall_period: int = 0) -> None:
+        super().__init__(name)
+        self.source = source
+        self.stall_period = stall_period
+        #: Every pixel received, in arrival order.
+        self.received: List[int] = []
+
+        self._stall = self.state(16, name=f"{name}_stall")
+        self.pixels_received = self.state(32, name=f"{name}_pixels_received")
+
+        @self.comb
+        def drive() -> None:
+            stalled = self._stall.value != 0
+            self.source.pop.next = 0 if stalled else 1
+
+        @self.seq
+        def capture() -> None:
+            if self._stall.value:
+                self._stall.next = self._stall.value - 1
+                return
+            if self.source.valid.value:
+                self.received.append(self.source.data.value)
+                self.pixels_received.next = self.pixels_received.value + 1
+                if self.stall_period > 0:
+                    self._stall.next = self.stall_period
+
+    # -- result access ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of pixels received so far."""
+        return len(self.received)
+
+    def frame(self, width: int, height: int, offset: int = 0) -> Frame:
+        """Reassemble one ``width x height`` frame from the received stream."""
+        needed = width * height
+        pixels = self.received[offset:offset + needed]
+        if len(pixels) < needed:
+            raise ValueError(
+                f"only {len(pixels)} pixels received, need {needed} for a frame")
+        return unflatten(pixels, width)
+
+    def clear(self) -> None:
+        """Discard everything received so far (between test phases)."""
+        self.received.clear()

@@ -1,0 +1,217 @@
+"""Behavioural tests of the generic algorithms (copy, transform, reduce, find,
+fill, generic copy) over multiple container bindings."""
+
+import pytest
+
+from repro.core import (
+    CopyAlgorithm,
+    FillAlgorithm,
+    FindAlgorithm,
+    GenericCopyAlgorithm,
+    ReduceAlgorithm,
+    TransformAlgorithm,
+    gain,
+    invert,
+    make_container,
+    make_iterator,
+    threshold,
+)
+from repro.rtl import Component, Simulator
+from repro.testing import stream_drain, stream_feed, stream_feed_and_drain
+
+
+def buffer_pipeline(algorithm_factory, binding="fifo", width=8, capacity=16):
+    """read_buffer -> algorithm -> write_buffer, built from the pattern library."""
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", binding, "rb", width=width,
+                                  capacity=capacity))
+    wb = top.child(make_container("write_buffer", binding, "wb", width=width,
+                                  capacity=capacity))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    algorithm = top.child(algorithm_factory(rit, wit))
+    return top, rb, wb, algorithm, Simulator(top)
+
+
+class TestCopyAlgorithm:
+    @pytest.mark.parametrize("binding", ["fifo", "sram"])
+    def test_copies_stream_unchanged(self, binding):
+        top, rb, wb, copy, sim = buffer_pipeline(
+            lambda rit, wit: CopyAlgorithm("copy", rit, wit), binding=binding)
+        data = list(range(30))
+        received = stream_feed_and_drain(sim, rb.fill, wb.drain, data)
+        assert received == data
+        assert copy.elements_processed == len(data)
+
+    def test_endless_by_default(self):
+        _top, rb, wb, copy, sim = buffer_pipeline(
+            lambda rit, wit: CopyAlgorithm("copy", rit, wit))
+        stream_feed_and_drain(sim, rb.fill, wb.drain, [1, 2, 3])
+        assert copy.max_count is None
+        assert not copy.is_finished
+
+    def test_respects_element_budget(self):
+        _top, rb, wb, copy, sim = buffer_pipeline(
+            lambda rit, wit: CopyAlgorithm("copy", rit, wit, max_count=4))
+        stream_feed(sim, rb.fill, list(range(10)))
+        sim.step(100)
+        assert copy.is_finished
+        assert copy.elements_processed == 4
+        assert stream_drain(sim, wb.drain, 4) == [0, 1, 2, 3]
+        # Nothing more is copied after the budget is exhausted.
+        sim.step(50)
+        assert wb.drain.valid.value == 0
+
+    def test_single_cycle_per_element_on_fifo_binding(self):
+        _top, rb, wb, copy, sim = buffer_pipeline(
+            lambda rit, wit: CopyAlgorithm("copy", rit, wit))
+        data = list(range(50))
+        start = sim.cycles
+        stream_feed_and_drain(sim, rb.fill, wb.drain, data)
+        cycles = sim.cycles - start
+        assert cycles <= len(data) + 10  # ~1 element per cycle plus pipeline fill
+
+
+class TestTransformAlgorithm:
+    def test_invert_transform(self):
+        func = invert(8)
+        _top, rb, wb, _alg, sim = buffer_pipeline(
+            lambda rit, wit: TransformAlgorithm("inv", rit, wit, func=func))
+        data = [0, 1, 0x7F, 0xFF]
+        assert stream_feed_and_drain(sim, rb.fill, wb.drain, data) == \
+            [0xFF, 0xFE, 0x80, 0x00]
+
+    def test_threshold_transform(self):
+        func = threshold(128, 8)
+        _top, rb, wb, _alg, sim = buffer_pipeline(
+            lambda rit, wit: TransformAlgorithm("thr", rit, wit, func=func))
+        data = [0, 127, 128, 255]
+        assert stream_feed_and_drain(sim, rb.fill, wb.drain, data) == \
+            [0, 0, 255, 255]
+
+    def test_gain_saturates(self):
+        func = gain(3, 2, 8)
+        _top, rb, wb, _alg, sim = buffer_pipeline(
+            lambda rit, wit: TransformAlgorithm("gain", rit, wit, func=func))
+        assert stream_feed_and_drain(sim, rb.fill, wb.drain, [10, 200]) == \
+            [15, 255]
+
+    def test_logic_cost_hint_is_carried(self):
+        _top, _rb, _wb, alg, _sim = buffer_pipeline(
+            lambda rit, wit: TransformAlgorithm("inv", rit, wit, func=invert(8),
+                                                logic_cost_luts=12))
+        assert alg.logic_cost_luts == 12
+
+
+class TestReduceAlgorithm:
+    def test_sums_the_stream(self):
+        top = Component("top")
+        rb = top.child(make_container("read_buffer", "fifo", "rb", width=8,
+                                      capacity=16))
+        rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+        reducer = top.child(ReduceAlgorithm("sum", rit, max_count=10))
+        sim = Simulator(top)
+        data = list(range(10))
+        stream_feed(sim, rb.fill, data)
+        sim.run_until(lambda: reducer.is_finished, 1_000)
+        assert reducer.result == sum(data)
+
+    def test_custom_fold_function(self):
+        top = Component("top")
+        rb = top.child(make_container("read_buffer", "fifo", "rb", width=8,
+                                      capacity=16))
+        rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+        reducer = top.child(ReduceAlgorithm("max", rit, max_count=5,
+                                            func=lambda acc, x: max(acc, x)))
+        sim = Simulator(top)
+        stream_feed(sim, rb.fill, [3, 9, 1, 7, 2])
+        sim.run_until(lambda: reducer.is_finished, 1_000)
+        assert reducer.result == 9
+
+    def test_requires_positive_count(self):
+        top = Component("top")
+        rb = top.child(make_container("read_buffer", "fifo", "rb", width=8,
+                                      capacity=4))
+        rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+        with pytest.raises(ValueError):
+            ReduceAlgorithm("bad", rit, max_count=0)
+
+
+class TestFindAlgorithm:
+    def _build(self, data, target, max_count=None):
+        top = Component("top")
+        rb = top.child(make_container("read_buffer", "fifo", "rb", width=8,
+                                      capacity=32))
+        rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+        finder = top.child(FindAlgorithm("find", rit, target=target,
+                                         max_count=max_count or len(data)))
+        sim = Simulator(top)
+        stream_feed(sim, rb.fill, data)
+        sim.run_until(lambda: finder.is_finished, 10_000)
+        return finder
+
+    def test_finds_first_match(self):
+        finder = self._build([5, 9, 9, 2], target=9)
+        assert finder.found.value == 1
+        assert finder.found_index.value == 1
+
+    def test_reports_miss(self):
+        finder = self._build([1, 2, 3], target=77)
+        assert finder.found.value == 0
+        assert finder.elements_processed == 3
+
+
+class TestFillAndGenericCopy:
+    def test_fill_then_generic_copy_between_vectors(self):
+        top = Component("top")
+        source = top.child(make_container("vector", "bram", "src", width=8,
+                                          capacity=8))
+        dest = top.child(make_container("vector", "sram", "dst", width=8,
+                                        capacity=8))
+        fill_it = top.child(make_iterator(source, "forward", writable=True,
+                                          name="fill_it"))
+        filler = top.child(FillAlgorithm("fill", fill_it, max_count=8,
+                                         func=lambda i: (i * 5) & 0xFF))
+        sim = Simulator(top)
+        sim.run_until(lambda: filler.is_finished, 5_000)
+        expected = [(i * 5) & 0xFF for i in range(8)]
+        assert source.snapshot() == expected
+
+        top2 = Component("top2")
+        src2 = top2.child(make_container("vector", "bram", "src", width=8,
+                                         capacity=8, init=expected))
+        dst2 = top2.child(make_container("vector", "sram", "dst", width=8,
+                                         capacity=8))
+        rit = top2.child(make_iterator(src2, "forward", readable=True, name="rit"))
+        wit = top2.child(make_iterator(dst2, "forward", writable=True, name="wit"))
+        copier = top2.child(GenericCopyAlgorithm("gcopy", rit, wit, max_count=8))
+        sim2 = Simulator(top2)
+        sim2.run_until(lambda: copier.is_finished, 20_000)
+        assert dst2.snapshot() == expected
+
+    def test_generic_copy_works_over_stream_buffers_too(self):
+        top, rb, wb, copier, sim = buffer_pipeline(
+            lambda rit, wit: GenericCopyAlgorithm("gcopy", rit, wit, max_count=12))
+        data = list(range(12))
+        received = stream_feed_and_drain(sim, rb.fill, wb.drain, data)
+        assert received == data
+        assert copier.is_finished
+
+    def test_generic_copy_requires_count(self):
+        top = Component("top")
+        rb = top.child(make_container("read_buffer", "fifo", "rb", width=8,
+                                      capacity=4))
+        wb = top.child(make_container("write_buffer", "fifo", "wb", width=8,
+                                      capacity=4))
+        rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+        wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+        with pytest.raises(ValueError):
+            GenericCopyAlgorithm("bad", rit, wit, max_count=0)
+
+    def test_fill_requires_positive_count(self):
+        top = Component("top")
+        wb = top.child(make_container("write_buffer", "fifo", "wb", width=8,
+                                      capacity=4))
+        wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+        with pytest.raises(ValueError):
+            FillAlgorithm("bad", wit, max_count=0)

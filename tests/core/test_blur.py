@@ -1,0 +1,115 @@
+"""Tests of the 3x3 blur algorithm and its kernel against the golden model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BlurAlgorithm, CopyAlgorithm, blur_kernel, make_container, make_iterator
+from repro.rtl import Component, Simulator
+from repro.video import flatten, golden_blur3x3, gradient_frame, random_frame
+from repro.testing import stream_feed_and_drain
+
+
+def test_blur_kernel_is_floor_mean():
+    assert blur_kernel([9] * 9) == 9
+    assert blur_kernel(range(9)) == sum(range(9)) // 9
+    assert blur_kernel([0] * 8 + [255]) == 255 // 9
+
+
+def test_blur_kernel_rejects_wrong_window_size():
+    with pytest.raises(ValueError):
+        blur_kernel([1, 2, 3])
+
+
+def build_blur_pipeline(line_width, width=8, out_capacity=32):
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "linebuffer3", "rb", width=width,
+                                  line_width=line_width))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=width,
+                                  capacity=out_capacity))
+    win_it = top.child(make_iterator(rb, "window", readable=True, name="win_it"))
+    out_it = top.child(make_iterator(wb, "forward", writable=True, name="out_it"))
+    blur = top.child(BlurAlgorithm("blur", win_it, out_it, line_width=line_width))
+    return top, rb, wb, blur, Simulator(top)
+
+
+@pytest.mark.parametrize("width,height,seed", [(8, 6, 1), (12, 5, 2), (16, 8, 3)])
+def test_blur_matches_golden_model(width, height, seed):
+    frame = random_frame(width, height, seed=seed)
+    golden = flatten(golden_blur3x3(frame))
+    _top, rb, wb, blur, sim = build_blur_pipeline(line_width=width)
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, flatten(frame),
+                                     expected=len(golden))
+    assert received == golden
+    assert blur.elements_processed == len(golden)
+
+
+def test_blur_on_smooth_gradient_is_nearly_identity():
+    frame = gradient_frame(10, 10)
+    golden = flatten(golden_blur3x3(frame))
+    _top, rb, wb, _blur, sim = build_blur_pipeline(line_width=10)
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, flatten(frame),
+                                     expected=len(golden))
+    # On a smooth ramp the blurred pixel stays within 1 LSB of the centre.
+    centres = flatten([row[1:-1] for row in frame[1:-1]])
+    assert all(abs(out - centre) <= 2 for out, centre in zip(received, centres))
+
+
+def test_blur_output_count_is_interior_size():
+    frame = random_frame(9, 7, seed=4)
+    golden = golden_blur3x3(frame)
+    assert len(golden) == 5
+    assert len(golden[0]) == 7
+    _top, rb, wb, blur, sim = build_blur_pipeline(line_width=9)
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, flatten(frame),
+                                     expected=(9 - 2) * (7 - 2))
+    assert len(received) == 35
+
+
+def test_blur_requires_window_iterator():
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8, capacity=8))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=8))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    with pytest.raises(TypeError):
+        BlurAlgorithm("blur", rit, wit, line_width=8)
+
+
+def test_blur_rejects_tiny_lines():
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "linebuffer3", "rb", width=8,
+                                  line_width=4))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=8))
+    win_it = top.child(make_iterator(rb, "window", readable=True, name="win_it"))
+    out_it = top.child(make_iterator(wb, "forward", writable=True, name="out_it"))
+    with pytest.raises(ValueError):
+        BlurAlgorithm("blur", win_it, out_it, line_width=2)
+
+
+def test_copy_algorithm_also_works_over_window_binding():
+    """The ordinary copy still runs over the 3-line-buffer binding (centre pixel)."""
+    width, height = 6, 5
+    frame = random_frame(width, height, seed=9)
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "linebuffer3", "rb", width=8,
+                                  line_width=width))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=16))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    top.child(CopyAlgorithm("copy", rit, wit))
+    sim = Simulator(top)
+    expected = flatten(frame[1:-1])  # the centre row of each valid column
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, flatten(frame),
+                                     expected=len(expected))
+    assert received == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_blur_equals_golden_for_random_frames(seed):
+    frame = random_frame(7, 5, seed=seed)
+    golden = flatten(golden_blur3x3(frame))
+    _top, rb, wb, _blur, sim = build_blur_pipeline(line_width=7)
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, flatten(frame),
+                                     expected=len(golden))
+    assert received == golden

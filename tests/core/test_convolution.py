@@ -1,0 +1,145 @@
+"""Behavioural tests of the general 3x3 convolution algorithm and its kernels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EDGE_KERNEL,
+    IDENTITY_KERNEL,
+    SHARPEN_KERNEL,
+    SMOOTH_KERNEL,
+    Conv3x3Algorithm,
+    Kernel3x3,
+    golden_convolve3x3,
+    make_container,
+    make_iterator,
+)
+from repro.rtl import Component, Simulator
+from repro.testing import stream_feed_and_drain
+from repro.video import flatten, golden_blur3x3, gradient_frame, random_frame
+
+
+class TestKernel3x3:
+    def test_requires_nine_weights(self):
+        with pytest.raises(ValueError):
+            Kernel3x3([1, 2, 3])
+        with pytest.raises(ValueError):
+            Kernel3x3([1] * 9, shift=-1)
+
+    def test_apply_identity(self):
+        window = list(range(9))
+        assert IDENTITY_KERNEL.apply(window, 255) == window[4]
+
+    def test_apply_clamps_to_range(self):
+        assert SHARPEN_KERNEL.apply([0, 0, 0, 0, 255, 0, 0, 0, 0], 255) == 255
+        assert EDGE_KERNEL.apply([255, 255, 255, 255, 0, 255, 255, 255, 255], 255) == 0
+
+    def test_gain(self):
+        assert SMOOTH_KERNEL.gain == pytest.approx(1.0)
+        assert SHARPEN_KERNEL.gain == pytest.approx(1.0)
+        assert EDGE_KERNEL.gain == pytest.approx(0.0)
+
+    def test_estimated_luts_positive_and_scales(self):
+        assert SMOOTH_KERNEL.estimated_luts(8) > 0
+        assert SMOOTH_KERNEL.estimated_luts(16) > SMOOTH_KERNEL.estimated_luts(8)
+
+    def test_window_size_checked(self):
+        with pytest.raises(ValueError):
+            IDENTITY_KERNEL.apply([1, 2, 3], 255)
+
+
+def build_conv_pipeline(line_width, kernel, width=8, out_capacity=32):
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "linebuffer3", "rb", width=width,
+                                  line_width=line_width))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=width,
+                                  capacity=out_capacity))
+    win_it = top.child(make_iterator(rb, "window", readable=True, name="win_it"))
+    out_it = top.child(make_iterator(wb, "forward", writable=True, name="out_it"))
+    conv = top.child(Conv3x3Algorithm("conv", win_it, out_it,
+                                      line_width=line_width, kernel=kernel))
+    return top, rb, wb, conv, Simulator(top)
+
+
+def run_conv(frame, kernel):
+    width = len(frame[0])
+    height = len(frame)
+    golden = flatten(golden_convolve3x3(frame, kernel))
+    _top, rb, wb, conv, sim = build_conv_pipeline(width, kernel)
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, flatten(frame),
+                                     expected=(width - 2) * (height - 2))
+    return received, golden, conv
+
+
+@pytest.mark.parametrize("kernel", [IDENTITY_KERNEL, SMOOTH_KERNEL,
+                                    SHARPEN_KERNEL, EDGE_KERNEL],
+                         ids=lambda k: k.name)
+def test_convolution_matches_golden_model(kernel):
+    frame = random_frame(12, 8, seed=17)
+    received, golden, conv = run_conv(frame, kernel)
+    assert received == golden
+    assert conv.elements_processed == len(golden)
+
+
+def test_identity_kernel_reproduces_interior_pixels():
+    frame = random_frame(10, 6, seed=23)
+    received, _golden, _conv = run_conv(frame, IDENTITY_KERNEL)
+    interior = flatten([row[1:-1] for row in frame[1:-1]])
+    assert received == interior
+
+
+def test_edge_kernel_is_zero_on_flat_regions():
+    frame = [[77] * 10 for _ in range(6)]
+    received, _golden, _conv = run_conv(frame, EDGE_KERNEL)
+    assert set(received) == {0}
+
+
+def test_smooth_kernel_tracks_box_blur_on_smooth_input():
+    frame = gradient_frame(12, 8)
+    received, _golden, _conv = run_conv(frame, SMOOTH_KERNEL)
+    box = flatten(golden_blur3x3(frame))
+    assert len(received) == len(box)
+    assert all(abs(a - b) <= 2 for a, b in zip(received, box))
+
+
+def test_custom_kernel_with_asymmetric_weights():
+    # Horizontal gradient detector (Sobel-like column weights, column-major order).
+    kernel = Kernel3x3([-1, -2, -1, 0, 0, 0, 1, 2, 1], shift=0, name="sobel_x")
+    frame = [[x * 10 for x in range(8)] for _ in range(6)]
+    received, golden, _conv = run_conv(frame, kernel)
+    assert received == golden
+    # A constant horizontal ramp has a uniform positive response:
+    # weight sum per side is 4, the ramp step is 10, and the window spans
+    # two steps, so the response is 4 * 10 * 2 = 80.
+    assert len(set(received)) == 1
+    assert received[0] == 80
+
+
+def test_algorithm_validation():
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8, capacity=8))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=8))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    with pytest.raises(TypeError):
+        Conv3x3Algorithm("bad", rit, wit, line_width=8, kernel=IDENTITY_KERNEL)
+
+
+def test_logic_cost_reflects_kernel_complexity():
+    frame_width = 12
+    _top, _rb, _wb, smooth, _sim = build_conv_pipeline(frame_width, SMOOTH_KERNEL)
+    _top2, _rb2, _wb2, ident, _sim2 = build_conv_pipeline(frame_width, IDENTITY_KERNEL)
+    assert smooth.logic_cost_luts >= ident.logic_cost_luts
+
+
+def test_golden_convolve_rejects_small_frames():
+    with pytest.raises(ValueError):
+        golden_convolve3x3([[1, 2], [3, 4]], IDENTITY_KERNEL)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_property_smooth_convolution_equals_golden(seed):
+    frame = random_frame(7, 5, seed=seed)
+    received, golden, _conv = run_conv(frame, SMOOTH_KERNEL)
+    assert received == golden

@@ -1,0 +1,86 @@
+"""Behavioural tests of the histogram algorithm over vector-backed bins."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HistogramAlgorithm, golden_histogram, make_container, make_iterator
+from repro.rtl import Component, Simulator
+from repro.testing import stream_feed
+from repro.video import flatten, random_frame
+
+
+def build(samples, num_bins=16, sample_width=8, bin_binding="bram",
+          bin_width=16):
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=sample_width,
+                                  capacity=max(8, len(samples))))
+    bins = top.child(make_container("vector", bin_binding, "bins",
+                                    width=bin_width, capacity=num_bins))
+    src_it = top.child(make_iterator(rb, "forward", readable=True, name="src_it"))
+    bin_it = top.child(make_iterator(bins, "random", readable=True, writable=True,
+                                     name="bin_it"))
+    hist = top.child(HistogramAlgorithm("hist", src_it, bin_it,
+                                        num_bins=num_bins,
+                                        sample_width=sample_width,
+                                        max_count=len(samples)))
+    sim = Simulator(top)
+    stream_feed(sim, rb.fill, samples)
+    sim.run_until(lambda: hist.is_finished, 200_000)
+    return bins.snapshot(), hist
+
+
+def test_histogram_matches_golden_model():
+    samples = flatten(random_frame(16, 8, seed=12))
+    counts, hist = build(samples)
+    assert counts == golden_histogram(samples, 16, 8)
+    assert sum(counts) == len(samples)
+    assert hist.elements_processed == len(samples)
+
+
+def test_histogram_bin_selection_uses_high_bits():
+    # Samples 0..15 all fall into bin 0 of a 16-bin / 8-bit histogram.
+    counts, _ = build(list(range(16)))
+    assert counts[0] == 16
+    assert sum(counts[1:]) == 0
+    # Sample 0xF0..0xFF all fall into the last bin.
+    counts, _ = build([0xF0 + i for i in range(16)])
+    assert counts[-1] == 16
+
+
+@pytest.mark.parametrize("bin_binding", ["bram", "registers", "sram"])
+def test_histogram_over_every_bin_storage_binding(bin_binding):
+    """The same algorithm instance structure runs over any bin container binding."""
+    samples = flatten(random_frame(8, 4, seed=3))
+    counts, _ = build(samples, bin_binding=bin_binding)
+    assert counts == golden_histogram(samples, 16, 8)
+
+
+def test_histogram_parameter_validation():
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8, capacity=8))
+    bins = top.child(make_container("vector", "bram", "bins", width=16, capacity=16))
+    src_it = top.child(make_iterator(rb, "forward", readable=True, name="src_it"))
+    bin_it = top.child(make_iterator(bins, "random", readable=True, writable=True,
+                                     name="bin_it"))
+    with pytest.raises(ValueError):
+        HistogramAlgorithm("bad", src_it, bin_it, num_bins=12, sample_width=8,
+                           max_count=4)
+    with pytest.raises(ValueError):
+        HistogramAlgorithm("bad", src_it, bin_it, num_bins=16, sample_width=8,
+                           max_count=0)
+    with pytest.raises(ValueError):
+        HistogramAlgorithm("bad", src_it, bin_it, num_bins=1024, sample_width=8,
+                           max_count=4)
+
+
+def test_golden_histogram_with_initial_counts():
+    assert golden_histogram([0, 255], 2, 8, initial=[5, 5]) == [6, 6]
+
+
+@settings(max_examples=10, deadline=None)
+@given(samples=st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                        max_size=40),
+       num_bins=st.sampled_from([4, 16, 64]))
+def test_property_histogram_equals_golden(samples, num_bins):
+    counts, _ = build(samples, num_bins=num_bins)
+    assert counts == golden_histogram(samples, num_bins, 8)

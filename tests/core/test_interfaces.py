@@ -1,0 +1,93 @@
+"""Tests for the functional interfaces and the Table 2 operation descriptors."""
+
+from repro.core import (
+    ITERATOR_OPERATIONS,
+    IteratorIface,
+    IteratorOp,
+    StreamSinkIface,
+    StreamSourceIface,
+    Traversal,
+    WindowIteratorIface,
+    format_traversals,
+)
+from repro.core.interfaces import B, F, FB, NONE, AssocIface, RandomIface, WindowSourceIface
+from repro.rtl import Component
+
+
+def test_table2_operations_complete_and_verbatim():
+    ops = {descriptor.op: descriptor for descriptor in ITERATOR_OPERATIONS}
+    assert set(ops) == {IteratorOp.INC, IteratorOp.DEC, IteratorOp.READ,
+                        IteratorOp.WRITE, IteratorOp.INDEX}
+    assert ops[IteratorOp.INC].meaning == "move forward"
+    assert ops[IteratorOp.DEC].meaning == "move backwards"
+    assert ops[IteratorOp.READ].meaning == "get the element"
+    assert ops[IteratorOp.WRITE].meaning == "put the element"
+    assert ops[IteratorOp.INDEX].meaning == "set the current position"
+    assert ops[IteratorOp.INDEX].applicability == "random"
+    assert ops[IteratorOp.INC].applicability == "F / F, B"
+
+
+def test_format_traversals():
+    assert format_traversals(F) == "F"
+    assert format_traversals(B) == "B"
+    assert format_traversals(FB) == "F, B"
+    assert format_traversals(NONE) == "-"
+
+
+def test_traversal_enum_values():
+    assert Traversal.FORWARD.value == "F"
+    assert Traversal.BACKWARD.value == "B"
+
+
+def test_stream_interfaces_declare_expected_signals():
+    owner = Component("owner")
+    source = StreamSourceIface(owner, width=8, name="src")
+    sink = StreamSinkIface(owner, width=8, name="snk")
+    assert set(source.signals()) == {"data", "valid", "pop"}
+    assert set(sink.signals()) == {"data", "ready", "push"}
+    assert source.data.width == 8
+    assert sink.data.width == 8
+    # All bundle signals are owned (and thus traced/estimated) by the owner.
+    assert source.data in owner.signals
+    assert sink.push in owner.signals
+
+
+def test_window_interface_signals():
+    owner = Component("owner")
+    window = WindowSourceIface(owner, width=8, x_width=5, name="win")
+    assert set(window.signals()) == {"col_top", "col_mid", "col_bot", "valid",
+                                     "pop", "x"}
+    assert window.x.width == 5
+
+
+def test_random_and_assoc_interfaces():
+    owner = Component("owner")
+    ram = RandomIface(owner, addr_width=10, width=8, name="ram")
+    assert set(ram.signals()) == {"en", "we", "addr", "wdata", "rdata", "done",
+                                  "idle"}
+    assert ram.addr.width == 10
+    assert ram.idle.value == 1  # idle by default
+    assoc = AssocIface(owner, key_width=4, value_width=8, name="assoc")
+    assert "lookup" in assoc
+    assert assoc.insert_key.width == 4
+    assert assoc.insert_value.width == 8
+
+
+def test_iterator_interface_canonical_signals():
+    owner = Component("owner")
+    iface = IteratorIface(owner, width=8, pos_width=6, name="it")
+    expected = {"inc", "dec", "read", "write", "index", "pos", "wdata", "rdata",
+                "done", "can_read", "can_write"}
+    assert set(iface.signals()) == expected
+    assert iface.pos.width == 6
+    assert iface.wdata.width == 8
+
+
+def test_window_iterator_interface_extends_canonical():
+    owner = Component("owner")
+    iface = WindowIteratorIface(owner, width=8, name="wit")
+    assert "rdata_top" in iface
+    assert "rdata_mid" in iface
+    assert "rdata_bot" in iface
+    assert "inc" in iface
+    assert isinstance(iface, IteratorIface)

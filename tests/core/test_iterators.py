@@ -1,0 +1,116 @@
+"""Tests of iterator metadata: supported operations (Table 2), transparency,
+registration keys and error handling."""
+
+import pytest
+
+from repro.core import IteratorError, IteratorOp, make_container, make_iterator
+from repro.core.iterators import (
+    Line3WindowIterator,
+    QueueForwardInputIterator,
+    QueueForwardOutputIterator,
+    ReadBufferForwardIterator,
+    StackBackwardOutputIterator,
+    StackForwardInputIterator,
+    VectorBackwardInputIterator,
+    VectorBidirectionalIterator,
+    VectorForwardInputIterator,
+    VectorForwardOutputIterator,
+    VectorRandomIterator,
+    WriteBufferForwardIterator,
+)
+
+INC, DEC, READ, WRITE, INDEX = (IteratorOp.INC, IteratorOp.DEC, IteratorOp.READ,
+                                IteratorOp.WRITE, IteratorOp.INDEX)
+
+
+def test_forward_input_iterator_operations():
+    ops = ReadBufferForwardIterator.supported_ops()
+    assert ops == {INC, READ}
+    assert ReadBufferForwardIterator.supports(INC)
+    assert not ReadBufferForwardIterator.supports(DEC)
+    assert not ReadBufferForwardIterator.supports(INDEX)
+
+
+def test_forward_output_iterator_operations():
+    assert WriteBufferForwardIterator.supported_ops() == {INC, WRITE}
+    assert QueueForwardOutputIterator.supported_ops() == {INC, WRITE}
+
+
+def test_queue_input_iterator_operations():
+    assert QueueForwardInputIterator.supported_ops() == {INC, READ}
+
+
+def test_stack_iterators_follow_table1_traversals():
+    assert StackForwardInputIterator.supported_ops() == {INC, READ}
+    # The stack's output traversal is backward, so its advance strobe is dec.
+    assert StackBackwardOutputIterator.supported_ops() == {DEC, WRITE}
+    assert StackBackwardOutputIterator.traversal == "backward"
+
+
+def test_random_iterator_has_full_table2_set():
+    assert VectorRandomIterator.supported_ops() == {INC, DEC, READ, WRITE, INDEX}
+
+
+def test_bidirectional_iterator_lacks_index():
+    assert VectorBidirectionalIterator.supported_ops() == {INC, DEC, READ, WRITE}
+
+
+def test_directional_vector_iterators():
+    assert VectorForwardInputIterator.supported_ops() == {INC, READ}
+    assert VectorForwardOutputIterator.supported_ops() == {INC, WRITE}
+    assert VectorBackwardInputIterator.supported_ops() == {DEC, READ}
+
+
+def test_window_iterator_reads_and_advances():
+    ops = Line3WindowIterator.supported_ops()
+    assert INC in ops and READ in ops
+    assert WRITE not in ops
+
+
+def test_stream_iterators_are_transparent_wrappers():
+    """The paper: simple iterators are wrappers dissolved at synthesis."""
+    for cls in (ReadBufferForwardIterator, WriteBufferForwardIterator,
+                QueueForwardInputIterator, QueueForwardOutputIterator,
+                StackForwardInputIterator, StackBackwardOutputIterator,
+                Line3WindowIterator):
+        assert cls.transparent is True
+
+
+def test_vector_iterators_keep_real_state():
+    """Position registers and access FSMs are genuine logic, not wrappers."""
+    for cls in (VectorRandomIterator, VectorBidirectionalIterator,
+                VectorForwardInputIterator, VectorForwardOutputIterator,
+                VectorBackwardInputIterator):
+        assert cls.transparent is False
+
+
+def test_vector_iterator_instances_declare_registers():
+    vector = make_container("vector", "bram", "vec", width=8, capacity=16)
+    iterator = make_iterator(vector, "random", readable=True, writable=True)
+    assert iterator.state_bits() > 0
+    assert iterator.container is vector
+
+
+def test_stream_iterator_instances_declare_no_registers():
+    rb = make_container("read_buffer", "fifo", "rb", width=8, capacity=8)
+    iterator = make_iterator(rb, "forward", readable=True)
+    assert iterator.state_bits() == 0
+
+
+def test_describe_rows_are_complete():
+    row = VectorRandomIterator.describe()
+    assert row["container"] == "vector"
+    assert row["traversal"] == "random"
+    assert "index" in row["ops"]
+
+
+def test_window_iterator_requires_window_capable_binding():
+    rb = make_container("read_buffer", "fifo", "rb", width=8, capacity=8)
+    with pytest.raises(IteratorError):
+        Line3WindowIterator("win_it", rb)
+
+
+def test_window_iterator_over_linebuffer_binding():
+    rb = make_container("read_buffer", "linebuffer3", "rb", width=8, line_width=8)
+    iterator = Line3WindowIterator("win_it", rb)
+    assert "rdata_top" in iterator.iface

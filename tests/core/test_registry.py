@@ -1,0 +1,113 @@
+"""Tests for the container/iterator registries and the Table 1 classification."""
+
+import pytest
+
+from repro.core import (
+    CONTAINER_KINDS,
+    ContainerError,
+    IteratorError,
+    bindings_for,
+    classification_table,
+    container_kinds,
+    iterator_catalog,
+    iterators_for,
+    lookup_binding,
+    make_container,
+    make_iterator,
+)
+from repro.core.containers import ReadBufferFIFO, ReadBufferSRAM
+
+
+def test_all_table1_kinds_registered_in_order():
+    assert container_kinds() == ["stack", "queue", "read_buffer", "write_buffer",
+                                 "vector", "assoc_array"]
+
+
+def test_classification_table_matches_paper_table1():
+    table = {row["container"]: row for row in classification_table()}
+    assert table["stack"] == {
+        "container": "stack", "random_input": "-", "random_output": "-",
+        "seq_input": "F", "seq_output": "B"}
+    assert table["queue"]["seq_input"] == "F"
+    assert table["queue"]["seq_output"] == "F"
+    assert table["read buffer"]["seq_input"] == "F"
+    assert table["read buffer"]["seq_output"] == "-"
+    assert table["write buffer"]["seq_input"] == "-"
+    assert table["write buffer"]["seq_output"] == "F"
+    assert table["vector"]["random_input"] == "yes"
+    assert table["vector"]["random_output"] == "yes"
+    assert table["vector"]["seq_input"] == "F, B"
+    assert table["vector"]["seq_output"] == "F, B"
+    assert table["assoc array"]["random_input"] == "yes"
+    assert table["assoc array"]["seq_input"] == "-"
+
+
+def test_every_kind_has_at_least_one_binding():
+    for kind in container_kinds():
+        assert bindings_for(kind), f"kind {kind} has no registered binding"
+
+
+def test_expected_bindings_present():
+    assert set(bindings_for("read_buffer")) == {"fifo", "sram", "linebuffer3"}
+    assert set(bindings_for("write_buffer")) == {"fifo", "sram"}
+    assert set(bindings_for("queue")) == {"fifo", "sram"}
+    assert set(bindings_for("stack")) == {"lifo", "sram"}
+    assert set(bindings_for("vector")) == {"bram", "sram", "registers"}
+    assert "cam" in bindings_for("assoc_array")
+
+
+def test_lookup_binding_returns_concrete_class():
+    assert lookup_binding("read_buffer", "fifo") is ReadBufferFIFO
+    assert lookup_binding("read_buffer", "sram") is ReadBufferSRAM
+
+
+def test_lookup_unknown_binding_raises():
+    with pytest.raises(ContainerError):
+        lookup_binding("read_buffer", "flash")
+
+
+def test_make_container_factory():
+    container = make_container("read_buffer", "fifo", "rb", width=8, capacity=16)
+    assert isinstance(container, ReadBufferFIFO)
+    assert container.width == 8
+    assert container.capacity == 16
+
+
+def test_make_container_validates_parameters():
+    with pytest.raises(ContainerError):
+        make_container("queue", "fifo", "q", width=0, capacity=8)
+    with pytest.raises(ContainerError):
+        make_container("queue", "fifo", "q", width=8, capacity=0)
+
+
+def test_make_iterator_resolves_by_kind_not_binding():
+    fifo_rb = make_container("read_buffer", "fifo", "rb1", width=8, capacity=8)
+    sram_rb = make_container("read_buffer", "sram", "rb2", width=8, capacity=8)
+    it_fifo = make_iterator(fifo_rb, "forward", readable=True)
+    it_sram = make_iterator(sram_rb, "forward", readable=True)
+    # Same concrete iterator class serves both bindings of the kind.
+    assert type(it_fifo) is type(it_sram)
+
+
+def test_make_iterator_unknown_role_raises():
+    queue = make_container("queue", "fifo", "q", width=8, capacity=8)
+    with pytest.raises(IteratorError):
+        make_iterator(queue, "random", readable=True, writable=True)
+
+
+def test_iterator_catalog_and_lookup():
+    catalog = iterator_catalog()
+    assert len(catalog) >= 10
+    names = {entry["iterator"] for entry in catalog}
+    assert "ReadBufferForwardIterator" in names
+    assert "VectorRandomIterator" in names
+    assert len(iterators_for("vector")) >= 5
+    assert len(iterators_for("read_buffer")) >= 2
+
+
+def test_kind_metadata_available_on_classes():
+    for kind, cls in CONTAINER_KINDS.items():
+        assert cls.kind == kind
+        row = cls.classification_row()
+        assert set(row) == {"container", "random_input", "random_output",
+                            "seq_input", "seq_output"}

@@ -1,0 +1,138 @@
+"""Behavioural tests of the vector container bindings and their iterators."""
+
+import pytest
+
+from repro.core import make_container, make_iterator
+from repro.rtl import Component, Simulator
+from repro.testing import iterator_read, iterator_seek, iterator_write
+
+VECTOR_BINDINGS = ["bram", "sram", "registers"]
+
+
+def build(binding, capacity=8, width=8, traversal="random", readable=True,
+          writable=True, start=None):
+    top = Component("top")
+    vector = top.child(make_container("vector", binding, "vec", width=width,
+                                      capacity=capacity))
+    kwargs = {} if start is None else {"start": start}
+    iterator_cls_kwargs = kwargs
+    iterator = top.child(make_iterator(vector, traversal, readable=readable,
+                                       writable=writable, name="it")
+                         if not iterator_cls_kwargs else
+                         _make_with_start(vector, traversal, readable, writable,
+                                          start))
+    return top, vector, iterator, Simulator(top)
+
+
+def _make_with_start(vector, traversal, readable, writable, start):
+    from repro.core.iterator import ITERATOR_REGISTRY
+    cls = ITERATOR_REGISTRY[(vector.kind, traversal, readable, writable)]
+    return cls("it", vector, start=start)
+
+
+class TestRandomIterator:
+    @pytest.mark.parametrize("binding", VECTOR_BINDINGS)
+    def test_write_then_read_back_sequentially(self, binding):
+        _top, vector, iterator, sim = build(binding, capacity=6)
+        for value in [11, 22, 33, 44, 55, 66]:
+            iterator_write(sim, iterator.iface, value)
+        assert vector.snapshot() == [11, 22, 33, 44, 55, 66]
+        iterator_seek(sim, iterator.iface, 0)
+        values = [iterator_read(sim, iterator.iface) for _ in range(6)]
+        assert values == [11, 22, 33, 44, 55, 66]
+
+    @pytest.mark.parametrize("binding", VECTOR_BINDINGS)
+    def test_index_operation_sets_position(self, binding):
+        _top, vector, iterator, sim = build(binding, capacity=8)
+        vector.load([i * 10 for i in range(8)])
+        iterator_seek(sim, iterator.iface, 5)
+        assert iterator.position == 5
+        assert iterator_read(sim, iterator.iface, advance=False) == 50
+        assert iterator.position == 5  # read without inc keeps the position
+
+    @pytest.mark.parametrize("binding", VECTOR_BINDINGS)
+    def test_read_with_advance_moves_forward(self, binding):
+        _top, vector, iterator, sim = build(binding, capacity=4)
+        vector.load([9, 8, 7, 6])
+        assert [iterator_read(sim, iterator.iface) for _ in range(4)] == [9, 8, 7, 6]
+        assert iterator.position == 0  # wrapped around the capacity
+
+    def test_position_wraps_modulo_capacity(self):
+        _top, vector, iterator, sim = build("bram", capacity=4)
+        iterator_seek(sim, iterator.iface, 7)
+        assert iterator.position == 3
+
+
+class TestDirectionalIterators:
+    def test_backward_iterator_walks_from_the_end(self):
+        top = Component("top")
+        vector = top.child(make_container("vector", "bram", "vec", width=8,
+                                          capacity=5))
+        vector.load([1, 2, 3, 4, 5])
+        iterator = top.child(make_iterator(vector, "backward", readable=True,
+                                           name="bit"))
+        sim = Simulator(top)
+        values = []
+        for _ in range(5):
+            # Read the current element, then step backwards.
+            iface = iterator.iface
+            for _ in range(50):
+                if iface.can_read.value:
+                    break
+                sim.step()
+            iface.read.force(1)
+            iface.dec.force(1)
+            while not iface.done.value:
+                sim.step()
+            values.append(iface.rdata.value)
+            iface.read.force(0)
+            iface.dec.force(0)
+            sim.step()
+        assert values == [5, 4, 3, 2, 1]
+
+    def test_forward_output_iterator_fills_from_zero(self):
+        top = Component("top")
+        vector = top.child(make_container("vector", "registers", "vec", width=8,
+                                          capacity=4))
+        iterator = top.child(make_iterator(vector, "forward", writable=True,
+                                           name="wit"))
+        sim = Simulator(top)
+        for value in [4, 3, 2, 1]:
+            iterator_write(sim, iterator.iface, value)
+        assert vector.snapshot() == [4, 3, 2, 1]
+
+    def test_bidirectional_iterator_ignores_index(self):
+        top = Component("top")
+        vector = top.child(make_container("vector", "bram", "vec", width=8,
+                                          capacity=8))
+        vector.load(list(range(8)))
+        iterator = top.child(make_iterator(vector, "bidirectional", readable=True,
+                                           writable=True, name="bidir"))
+        sim = Simulator(top)
+        iface = iterator.iface
+        # An index strobe must not move a bidirectional iterator.
+        iface.pos.force(6)
+        iface.index.force(1)
+        sim.step(4)
+        iface.index.force(0)
+        assert iterator.position == 0
+        assert iterator_read(sim, iface) == 0
+
+
+class TestVectorBindings:
+    def test_registers_binding_costs_flip_flops(self):
+        vector = make_container("vector", "registers", "vec", width=8, capacity=4)
+        total_state = sum(comp.state_bits() for comp in vector.walk())
+        assert total_state >= 32  # the storage itself is flip-flops
+
+    def test_sram_binding_is_external(self):
+        vector = make_container("vector", "sram", "vec", width=8, capacity=16)
+        assert vector.external_storage is True
+        assert vector.sram.external is True
+
+    def test_backdoor_round_trip(self):
+        for binding in VECTOR_BINDINGS:
+            vector = make_container("vector", binding, "vec", width=8, capacity=4)
+            vector.write_word(2, 0x5A)
+            assert vector.read_word(2) == 0x5A
+            assert vector.snapshot()[2] == 0x5A

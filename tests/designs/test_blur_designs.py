@@ -1,0 +1,76 @@
+"""Functional tests of the blur designs (pattern-based versus hand-written)."""
+
+import pytest
+
+from repro.designs import BlurCustomDesign, BlurPatternDesign, build_blur_pattern, run_stream_through
+from repro.video import flatten, golden_blur3x3, gradient_frame, random_frame
+
+WIDTH, HEIGHT = 16, 10
+FRAME = random_frame(WIDTH, HEIGHT, seed=77)
+GOLDEN = flatten(golden_blur3x3(FRAME))
+
+
+def run_blur(design):
+    return run_stream_through(design, FRAME, expected_outputs=len(GOLDEN))
+
+
+def test_pattern_blur_matches_golden_model():
+    result = run_blur(build_blur_pattern(line_width=WIDTH, out_capacity=32))
+    assert result["pixels"] == GOLDEN
+
+
+def test_custom_blur_matches_golden_model():
+    result = run_blur(BlurCustomDesign(line_width=WIDTH, out_capacity=32))
+    assert result["pixels"] == GOLDEN
+
+
+def test_pattern_and_custom_blur_are_equivalent_in_output_and_cycles():
+    pattern = run_blur(build_blur_pattern(line_width=WIDTH, out_capacity=32))
+    custom = run_blur(BlurCustomDesign(line_width=WIDTH, out_capacity=32))
+    assert pattern["pixels"] == custom["pixels"]
+    assert abs(pattern["cycles"] - custom["cycles"]) <= max(4, 0.05 * custom["cycles"])
+
+
+def test_blur_output_size_is_interior_of_the_frame():
+    result = run_blur(build_blur_pattern(line_width=WIDTH, out_capacity=32))
+    assert result["outputs"] == (WIDTH - 2) * (HEIGHT - 2)
+
+
+def test_blur_throughput_approaches_one_pixel_per_cycle():
+    """'Ideally a new filtered pixel can be generated at each clock cycle.'"""
+    big = random_frame(32, 20, seed=5)
+    golden = flatten(golden_blur3x3(big))
+    result = run_stream_through(build_blur_pattern(line_width=32, out_capacity=64),
+                                big, expected_outputs=len(golden))
+    # Input pixels dominate: (W*H) cycles of input, output keeps pace.
+    assert result["cycles"] <= 32 * 20 * 2.2
+
+
+def test_blur_on_uniform_frame_is_uniform():
+    uniform = [[123] * 12 for _ in range(6)]
+    result = run_stream_through(build_blur_pattern(line_width=12, out_capacity=32),
+                                uniform, expected_outputs=10 * 4)
+    assert set(result["pixels"]) == {123}
+
+
+def test_blur_with_slow_display_backpressure():
+    result = run_stream_through(build_blur_pattern(line_width=WIDTH, out_capacity=8),
+                                FRAME, expected_outputs=len(GOLDEN), sink_stall=2)
+    assert result["pixels"] == GOLDEN
+
+
+@pytest.mark.parametrize("line_width,height,seed", [(8, 6, 0), (20, 7, 1)])
+def test_blur_for_other_geometries(line_width, height, seed):
+    frame = random_frame(line_width, height, seed=seed)
+    golden = flatten(golden_blur3x3(frame))
+    result = run_stream_through(build_blur_pattern(line_width=line_width,
+                                                   out_capacity=32),
+                                frame, expected_outputs=len(golden))
+    assert result["pixels"] == golden
+
+
+def test_describe_reports_linebuffer_binding():
+    design = BlurPatternDesign(line_width=16)
+    assert design.binding == "linebuffer3"
+    assert design.describe()["style"] == "pattern"
+    assert BlurCustomDesign(line_width=16).describe()["style"] == "custom"

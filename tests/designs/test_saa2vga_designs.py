@@ -1,0 +1,113 @@
+"""Functional tests of the saa2vga designs: pattern-based and custom, FIFO and SRAM.
+
+The central reuse claim is checked here: the *same* pattern model (containers,
+iterators, copy algorithm) runs unchanged over both bindings and produces the
+exact same pixel stream as the hand-written baselines.
+"""
+
+import pytest
+
+from repro.designs import (
+    Saa2VgaCustomFIFO,
+    Saa2VgaCustomSRAM,
+    Saa2VgaPatternDesign,
+    build_saa2vga_pattern,
+    run_stream_through,
+)
+from repro.video import flatten, gradient_frame, random_frame
+
+FRAME = random_frame(16, 8, seed=42)
+PIXELS = flatten(FRAME)
+
+
+def design_factories():
+    return {
+        "pattern_fifo": lambda: build_saa2vga_pattern("fifo", capacity=16),
+        "pattern_sram": lambda: build_saa2vga_pattern("sram", capacity=16),
+        "custom_fifo": lambda: Saa2VgaCustomFIFO(capacity=16),
+        "custom_sram": lambda: Saa2VgaCustomSRAM(capacity=16),
+    }
+
+
+@pytest.mark.parametrize("label", list(design_factories()))
+def test_every_variant_copies_the_frame_bit_exactly(label):
+    design = design_factories()[label]()
+    result = run_stream_through(design, FRAME)
+    assert result["pixels"] == PIXELS
+    assert design.pixels_processed >= len(PIXELS)
+
+
+def test_pattern_and_custom_fifo_produce_identical_streams():
+    reference = run_stream_through(Saa2VgaCustomFIFO(capacity=16), FRAME)
+    pattern = run_stream_through(build_saa2vga_pattern("fifo", capacity=16), FRAME)
+    assert pattern["pixels"] == reference["pixels"]
+
+
+def test_pattern_and_custom_sram_produce_identical_streams():
+    reference = run_stream_through(Saa2VgaCustomSRAM(capacity=16), FRAME)
+    pattern = run_stream_through(build_saa2vga_pattern("sram", capacity=16), FRAME)
+    assert pattern["pixels"] == reference["pixels"]
+
+
+def test_fifo_binding_achieves_streaming_rate():
+    result = run_stream_through(build_saa2vga_pattern("fifo", capacity=16), FRAME)
+    assert result["throughput"] > 0.8  # about one pixel per cycle
+
+
+def test_sram_binding_is_functionally_equal_but_slower():
+    fifo = run_stream_through(build_saa2vga_pattern("fifo", capacity=16), FRAME)
+    sram = run_stream_through(build_saa2vga_pattern("sram", capacity=16), FRAME)
+    assert sram["pixels"] == fifo["pixels"]
+    assert sram["cycles"] > fifo["cycles"] * 2
+
+
+def test_pattern_and_custom_fifo_cycle_counts_are_comparable():
+    fifo_pattern = run_stream_through(build_saa2vga_pattern("fifo", capacity=16),
+                                      FRAME)["cycles"]
+    fifo_custom = run_stream_through(Saa2VgaCustomFIFO(capacity=16), FRAME)["cycles"]
+    assert abs(fifo_pattern - fifo_custom) <= max(4, 0.05 * fifo_custom)
+
+
+def test_binding_change_does_not_touch_the_model():
+    """Section 3.3: changing the buffers to SRAM 'does not really affect the model'."""
+    fifo_design = build_saa2vga_pattern("fifo", capacity=16)
+    sram_design = build_saa2vga_pattern("sram", capacity=16)
+    # Identical algorithm class and identical iterator classes — only the
+    # container binding differs.
+    assert type(fifo_design.algorithm) is type(sram_design.algorithm)
+    assert type(fifo_design.rbuffer_it) is type(sram_design.rbuffer_it)
+    assert type(fifo_design.wbuffer_it) is type(sram_design.wbuffer_it)
+    assert type(fifo_design.rbuffer) is not type(sram_design.rbuffer)
+    assert fifo_design.describe()["algorithm"].endswith("copy")
+
+
+def test_back_pressure_from_a_slow_display():
+    design = build_saa2vga_pattern("fifo", capacity=8)
+    result = run_stream_through(design, gradient_frame(8, 8), sink_stall=3)
+    assert result["pixels"] == flatten(gradient_frame(8, 8))
+    assert result["cycles"] >= 63 * 4
+
+
+def test_slow_camera_front_end():
+    design = Saa2VgaCustomFIFO(capacity=8)
+    result = run_stream_through(design, gradient_frame(8, 4), source_stall=2)
+    assert result["pixels"] == flatten(gradient_frame(8, 4))
+
+
+def test_multi_frame_stream():
+    frames = [random_frame(8, 4, seed=s) for s in (1, 2, 3)]
+    design = build_saa2vga_pattern("fifo", capacity=16)
+    from repro.designs import VideoSystem
+    system = VideoSystem(design, frames=frames)
+    sim = system.simulate(expected_outputs=8 * 4 * 3)
+    expected = [p for frame in frames for p in flatten(frame)]
+    assert system.received_pixels() == expected
+    assert sim.cycles < 8 * 4 * 3 * 3
+
+
+def test_describe_reports_structure():
+    design = Saa2VgaPatternDesign(binding="fifo", capacity=16)
+    info = design.describe()
+    assert info["style"] == "pattern"
+    assert len(info["containers"]) == 2
+    assert len(info["iterators"]) == 2

@@ -1,0 +1,46 @@
+"""Tests for the VideoSystem harness itself."""
+
+import pytest
+
+from repro.designs import Saa2VgaCustomFIFO, VideoSystem, build_saa2vga_pattern, run_stream_through
+from repro.rtl import Component, SimulationError
+from repro.video import flatten, random_frame
+
+
+def test_rejects_designs_without_stream_interfaces():
+    with pytest.raises(TypeError):
+        VideoSystem(Component("bare"), frames=[])
+
+
+def test_simulate_returns_simulator_and_collects_pixels():
+    frame = random_frame(6, 4, seed=11)
+    system = VideoSystem(build_saa2vga_pattern("fifo", capacity=8), frames=[frame])
+    sim = system.simulate(expected_outputs=24)
+    assert sim.cycles > 0
+    assert system.received_pixels() == flatten(frame)
+    assert system.received_frame(6, 4) == frame
+
+
+def test_simulate_raises_when_pipeline_stalls():
+    # Expect more pixels than the stream contains: the harness must not hang.
+    frame = random_frame(4, 2, seed=12)
+    system = VideoSystem(Saa2VgaCustomFIFO(capacity=8), frames=[frame])
+    with pytest.raises(SimulationError):
+        system.simulate(expected_outputs=100, max_cycles=2_000)
+
+
+def test_run_stream_through_reports_all_fields():
+    frame = random_frame(8, 2, seed=13)
+    result = run_stream_through(build_saa2vga_pattern("fifo", capacity=8), frame)
+    assert set(result) >= {"pixels", "cycles", "inputs", "outputs", "throughput",
+                           "system", "simulator"}
+    assert result["inputs"] == 16
+    assert result["outputs"] == 16
+    assert 0 < result["throughput"] <= 1.0
+
+
+def test_received_frame_offset():
+    frames = [random_frame(4, 2, seed=s) for s in (1, 2)]
+    system = VideoSystem(build_saa2vga_pattern("fifo", capacity=8), frames=frames)
+    system.simulate(expected_outputs=16)
+    assert system.received_frame(4, 2, offset=8) == frames[1]

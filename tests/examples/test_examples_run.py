@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example runs to completion and reports success.
+
+Examples are part of the deliverable API surface; running them in CI keeps
+them from rotting as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["Same model, two bindings"],
+    "saa2vga_pipeline.py": ["[OK]", "Table 3"],
+    "blur_filter.py": ["bit-exact", "Table 3"],
+    "vhdl_codegen.py": ["entity rbuffer_fifo is", "entity rbuffer_sram is",
+                        "VHDL design units"],
+    "pixel_format_migration.py": ["bit-exact", "narrow-bus cost factor"],
+    "convolution_gallery.py": ["bit-exact", "edge"],
+    "design_space_explorer.py": ["Pareto front", "recommendations"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=600, check=False)
+    assert result.returncode == 0, (
+        f"{name} exited with {result.returncode}:\n{result.stderr[-2000:]}")
+    return result.stdout
+
+
+def test_examples_directory_is_complete():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert set(EXPECTATIONS) <= present
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs_and_reports_success(name):
+    stdout = run_example(name)
+    for marker in EXPECTATIONS[name]:
+        assert marker in stdout, f"{name}: expected {marker!r} in output"
+    assert "MISMATCH" not in stdout
+    assert "Traceback" not in stdout

@@ -1,0 +1,89 @@
+"""Integration test for the pixel-format change scenario of Section 3.3.
+
+"It would also be possible to modify the pixel data representation (from
+8-bit grayscale to 24-bit RGB, for example)."  Two alternatives are
+exercised:
+
+1. a 24-bit data path end to end (regenerate every element with the wider
+   base type) — the containers are simply instantiated with ``width=24``;
+2. a 24-bit pixel stream over 8-bit containers, using the generated width
+   adapters to perform "three consecutive container reads/writes to get/set
+   the whole pixel".
+"""
+
+from repro.core import CopyAlgorithm, make_container, make_iterator
+from repro.metagen import WidthDownConverter, WidthUpConverter
+from repro.rtl import Component, Simulator
+from repro.testing import stream_feed_and_drain
+from repro.video import RGB24, flatten, gray_to_rgb24, random_frame
+
+
+def rgb_pixels(width=8, height=4, seed=3):
+    gray = random_frame(width, height, seed=seed)
+    return [gray_to_rgb24(pixel) for pixel in flatten(gray)]
+
+
+def test_alternative_1_regenerate_with_24_bit_base_type():
+    """24-bit data bus: only the element width of the containers changes."""
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=24, capacity=16))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=24, capacity=16))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    top.child(CopyAlgorithm("copy", rit, wit))
+    sim = Simulator(top)
+    pixels = rgb_pixels()
+    received = stream_feed_and_drain(sim, rb.fill, wb.drain, pixels)
+    assert received == pixels
+    assert all(0 <= p <= RGB24.max_value for p in received)
+
+
+def test_alternative_2_24_bit_pixels_over_8_bit_containers():
+    """8-bit data bus: width adapters wrap the unchanged 8-bit pipeline."""
+    top = Component("top")
+    # The existing 8-bit pipeline (unchanged model, unchanged algorithm).
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8, capacity=32))
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=32))
+    rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    top.child(CopyAlgorithm("copy", rit, wit))
+    # Generated adaptation logic at the boundaries.
+    down = top.child(WidthDownConverter("down", element_width=24, bus_width=8))
+    up = top.child(WidthUpConverter("up", element_width=24, bus_width=8))
+
+    @top.comb
+    def connect():
+        # down-converter narrow side -> read buffer fill
+        rb.fill.data.next = down.narrow_out.data.value
+        transfer_in = down.narrow_out.valid.value and rb.fill.ready.value
+        rb.fill.push.next = 1 if transfer_in else 0
+        down.narrow_out.pop.next = 1 if transfer_in else 0
+        # write buffer drain -> up-converter narrow side
+        up.narrow_in.data.next = wb.drain.data.value
+        transfer_out = wb.drain.valid.value and up.narrow_in.ready.value
+        up.narrow_in.push.next = 1 if transfer_out else 0
+        wb.drain.pop.next = 1 if transfer_out else 0
+
+    sim = Simulator(top)
+    pixels = rgb_pixels()
+    received = stream_feed_and_drain(sim, down.wide_in, up.wide_out, pixels,
+                                     max_cycles=200_000)
+    assert received == pixels
+
+
+def test_both_alternatives_agree():
+    pixels = rgb_pixels(seed=9)
+
+    def run_24bit():
+        top = Component("top")
+        rb = top.child(make_container("read_buffer", "fifo", "rb", width=24,
+                                      capacity=16))
+        wb = top.child(make_container("write_buffer", "fifo", "wb", width=24,
+                                      capacity=16))
+        rit = top.child(make_iterator(rb, "forward", readable=True, name="rit"))
+        wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+        top.child(CopyAlgorithm("copy", rit, wit))
+        sim = Simulator(top)
+        return stream_feed_and_drain(sim, rb.fill, wb.drain, pixels)
+
+    assert run_24bit() == pixels

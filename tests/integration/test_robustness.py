@@ -1,0 +1,113 @@
+"""Robustness and stress tests across the stack.
+
+Latency-insensitivity: the pattern designs must produce bit-exact output under
+arbitrary producer/consumer throttling, because back-pressure is carried
+end-to-end by the stream and iterator protocols (docs/PROTOCOLS.md).  The
+simulator must also be deterministic, since every experiment in the
+reproduction relies on exact repeatability.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import make_container, make_iterator
+from repro.core.algorithms import GenericCopyAlgorithm
+from repro.designs import build_blur_pattern, build_saa2vga_pattern, run_stream_through
+from repro.rtl import Component, Simulator
+from repro.video import flatten, golden_blur3x3, random_frame
+
+
+@settings(max_examples=8, deadline=None)
+@given(source_stall=st.integers(min_value=0, max_value=4),
+       sink_stall=st.integers(min_value=0, max_value=4),
+       seed=st.integers(min_value=0, max_value=999))
+def test_copy_is_latency_insensitive(source_stall, sink_stall, seed):
+    frame = random_frame(10, 5, seed=seed)
+    result = run_stream_through(build_saa2vga_pattern("fifo", capacity=8), frame,
+                                source_stall=source_stall, sink_stall=sink_stall)
+    assert result["pixels"] == flatten(frame)
+
+
+@settings(max_examples=6, deadline=None)
+@given(source_stall=st.integers(min_value=0, max_value=3),
+       sink_stall=st.integers(min_value=0, max_value=3))
+def test_blur_is_latency_insensitive(source_stall, sink_stall):
+    frame = random_frame(10, 6, seed=7)
+    golden = flatten(golden_blur3x3(frame))
+    result = run_stream_through(build_blur_pattern(line_width=10, out_capacity=8),
+                                frame, expected_outputs=len(golden),
+                                source_stall=source_stall, sink_stall=sink_stall)
+    assert result["pixels"] == golden
+
+
+def test_simulation_is_deterministic():
+    frame = random_frame(12, 6, seed=3)
+
+    def run():
+        return run_stream_through(build_saa2vga_pattern("sram", capacity=16), frame)
+
+    first = run()
+    second = run()
+    assert first["pixels"] == second["pixels"]
+    assert first["cycles"] == second["cycles"]
+
+
+def test_tiny_capacity_buffers_still_work():
+    """Capacity-2 buffers exercise continuous full/empty boundary conditions."""
+    frame = random_frame(16, 4, seed=9)
+    result = run_stream_through(build_saa2vga_pattern("fifo", capacity=2), frame)
+    assert result["pixels"] == flatten(frame)
+
+
+def test_mixed_binding_pipeline():
+    """A FIFO read buffer feeding an SRAM write buffer (and vice versa)."""
+    frame = random_frame(8, 4, seed=21)
+
+    class Mixed(Component):
+        def __init__(self, in_binding, out_binding):
+            super().__init__(f"mixed_{in_binding}_{out_binding}")
+            from repro.core import CopyAlgorithm
+            self.rb = self.child(make_container("read_buffer", in_binding, "rb",
+                                                width=8, capacity=8))
+            self.wb = self.child(make_container("write_buffer", out_binding, "wb",
+                                                width=8, capacity=8))
+            self.rit = self.child(make_iterator(self.rb, "forward", readable=True,
+                                                name="rit"))
+            self.wit = self.child(make_iterator(self.wb, "forward", writable=True,
+                                                name="wit"))
+            self.child(CopyAlgorithm("copy", self.rit, self.wit))
+            self.input_fill = self.rb.fill
+            self.output_drain = self.wb.drain
+
+    for in_binding, out_binding in (("fifo", "sram"), ("sram", "fifo")):
+        result = run_stream_through(Mixed(in_binding, out_binding), frame)
+        assert result["pixels"] == flatten(frame), (in_binding, out_binding)
+
+
+def test_long_multi_frame_soak():
+    """Several frames back to back through the SRAM binding (slowest path)."""
+    frames = [random_frame(8, 4, seed=s) for s in range(4)]
+    from repro.designs import VideoSystem
+    system = VideoSystem(build_saa2vga_pattern("sram", capacity=8), frames=frames)
+    system.simulate(expected_outputs=8 * 4 * len(frames), max_cycles=400_000)
+    expected = [p for frame in frames for p in flatten(frame)]
+    assert system.received_pixels() == expected
+
+
+def test_generic_copy_vector_to_vector_across_bindings():
+    """Vector-to-vector copies for every source/destination binding pairing."""
+    data = [i * 3 & 0xFF for i in range(8)]
+    for src_binding in ("bram", "registers", "sram"):
+        for dst_binding in ("bram", "registers", "sram"):
+            top = Component("top")
+            src = top.child(make_container("vector", src_binding, "src", width=8,
+                                           capacity=8))
+            dst = top.child(make_container("vector", dst_binding, "dst", width=8,
+                                           capacity=8))
+            src.load(data)
+            rit = top.child(make_iterator(src, "forward", readable=True, name="rit"))
+            wit = top.child(make_iterator(dst, "forward", writable=True, name="wit"))
+            copier = top.child(GenericCopyAlgorithm("copy", rit, wit, max_count=8))
+            sim = Simulator(top)
+            sim.run_until(lambda: copier.is_finished, 50_000)
+            assert dst.snapshot() == data, (src_binding, dst_binding)

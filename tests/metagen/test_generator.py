@@ -1,0 +1,165 @@
+"""Tests for the metamodel-driven VHDL code generator (Figures 4 and 5,
+operation pruning, width adaptation, protocol selection, arbitration)."""
+
+import pytest
+
+from repro.metagen import (
+    CONTAINER_METAMODELS,
+    CodeGenerator,
+    GenerationConfig,
+    check_balanced,
+    figure4_rbuffer_fifo,
+    figure5_rbuffer_sram,
+    generate_arbiter_vhdl,
+    protocol_for_binding,
+)
+
+
+class TestFigureEntities:
+    def test_figure4_ports_match_the_paper(self):
+        generated = figure4_rbuffer_fifo()
+        names = generated.vhdl.entity.port_names()
+        # Functional interface of Figure 4.
+        for expected in ("m_empty", "m_size", "m_pop", "data", "done"):
+            assert expected in names
+        # Implementation interface of Figure 4.
+        for expected in ("p_empty", "p_read", "p_data"):
+            assert expected in names
+        assert generated.name == "rbuffer_fifo"
+        text = generated.emit()
+        assert "entity rbuffer_fifo is" in text
+        assert "std_logic_vector(7 downto 0)" in text
+        assert check_balanced(text)
+
+    def test_figure5_differs_only_in_the_implementation_interface(self):
+        fifo = figure4_rbuffer_fifo()
+        sram = figure5_rbuffer_sram()
+        names = sram.vhdl.entity.port_names()
+        for expected in ("p_addr", "p_data", "req", "ack"):
+            assert expected in names
+        assert "p_read" not in names
+        # The functional interface is shared between the two bindings.
+        functional = {"m_empty", "m_size", "m_pop", "data", "done"}
+        assert functional <= set(names)
+        assert functional <= set(fifo.vhdl.entity.port_names())
+        assert check_balanced(sram.emit())
+
+    def test_figure5_address_width_is_sixteen_bits(self):
+        sram = figure5_rbuffer_sram()
+        text = sram.emit()
+        assert "p_addr : out std_logic_vector(15 downto 0)" in text
+
+
+class TestPruning:
+    def test_unused_operations_are_omitted(self):
+        generator = CodeGenerator()
+        config = GenerationConfig(name="rb_minimal", binding="fifo",
+                                  used_operations=frozenset({"pop"}))
+        generated = generator.generate_container("read_buffer", config)
+        names = generated.vhdl.entity.port_names()
+        assert "m_pop" in names
+        assert "m_empty" not in names
+        assert "m_size" not in names
+        assert generated.operations == ["pop"]
+
+    def test_unknown_operation_rejected(self):
+        generator = CodeGenerator()
+        config = GenerationConfig(name="bad", binding="fifo",
+                                  used_operations=frozenset({"teleport"}))
+        with pytest.raises(KeyError):
+            generator.generate_container("read_buffer", config)
+
+    def test_full_operation_set_by_default(self):
+        generator = CodeGenerator()
+        generated = generator.generate_container(
+            "queue", GenerationConfig(name="q_full", binding="fifo"))
+        assert set(generated.operations) == {"empty", "full", "pop", "push"}
+
+
+class TestWidthAdaptation:
+    def test_beats_per_element(self):
+        config = GenerationConfig(name="x", data_width=24, bus_width=8)
+        assert config.beats_per_element() == 3
+        assert GenerationConfig(name="y", data_width=8).beats_per_element() == 1
+
+    def test_indivisible_width_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(name="x", data_width=24, bus_width=7).beats_per_element()
+
+    def test_generated_container_mentions_adaptation(self):
+        generator = CodeGenerator()
+        config = GenerationConfig(name="rb24", data_width=24, bus_width=8,
+                                  binding="sram",
+                                  used_operations=frozenset({"pop", "empty"}))
+        generated = generator.generate_container("read_buffer", config)
+        assert generated.width_plan.beats == 3
+        text = generated.emit()
+        assert "width adaptation" in text
+        assert "beat_count" in text
+
+    def test_no_adaptation_logic_when_widths_match(self):
+        generator = CodeGenerator()
+        generated = generator.generate_container(
+            "read_buffer", GenerationConfig(name="rb8", data_width=8,
+                                            binding="fifo"))
+        assert "beat_count" not in generated.emit()
+
+
+class TestIteratorsAndSystem:
+    def test_iterator_generation(self):
+        generator = CodeGenerator()
+        generated = generator.generate_iterator(
+            "read_buffer_forward", GenerationConfig(name="rbuffer_it",
+                                                    binding="fifo"))
+        names = generated.vhdl.entity.port_names()
+        assert "m_inc" in names and "m_read" in names
+        assert "c_pop" in names and "c_done" in names
+        assert check_balanced(generated.emit())
+
+    def test_design_library_generation(self):
+        generator = CodeGenerator()
+        units = generator.generate_design_library("saa2vga", binding="sram",
+                                                   depth=1024)
+        names = {unit.name for unit in units}
+        assert names == {"saa2vga_rbuffer_sram", "saa2vga_wbuffer_sram",
+                         "saa2vga_rbuffer_it", "saa2vga_wbuffer_it"}
+        for unit in units:
+            assert check_balanced(unit.emit())
+
+    def test_every_metamodel_binding_generates_valid_vhdl(self):
+        generator = CodeGenerator()
+        for kind, metamodel in CONTAINER_METAMODELS.items():
+            for binding in metamodel.bindings:
+                config = GenerationConfig(name=f"{kind}_{binding}", binding=binding)
+                generated = generator.generate_container(kind, config)
+                assert check_balanced(generated.emit()), (kind, binding)
+
+
+class TestArbitrationAndProtocol:
+    def test_shared_external_resource_generates_an_arbiter(self):
+        generator = CodeGenerator()
+        config = GenerationConfig(name="rb_shared", binding="sram",
+                                  shared_resource=True, sharers=2)
+        generated = generator.generate_container("read_buffer", config)
+        assert len(generated.extra_files) == 1
+        arbiter_text = generated.extra_files[0].emit()
+        assert "c0_req" in arbiter_text and "c1_req" in arbiter_text
+        assert check_balanced(arbiter_text)
+
+    def test_unshared_resource_generates_no_arbiter(self):
+        generator = CodeGenerator()
+        generated = generator.generate_container(
+            "read_buffer", GenerationConfig(name="rb", binding="sram"))
+        assert generated.extra_files == []
+
+    def test_generate_arbiter_vhdl_standalone(self):
+        unit = generate_arbiter_vhdl(3, addr_width=10, data_width=8)
+        text = unit.emit()
+        assert "c2_addr" in text
+        assert check_balanced(text)
+
+    def test_protocol_selection_per_binding(self):
+        assert protocol_for_binding("fifo").name == "valid_ready"
+        assert protocol_for_binding("sram").supports_variable_latency
+        generated = figure5_rbuffer_sram()
+        assert generated.protocol.supports_variable_latency

@@ -1,0 +1,98 @@
+"""Tests for the container/iterator metamodels and generation configuration."""
+
+import pytest
+
+from repro.metagen import (
+    CONTAINER_METAMODELS,
+    ITERATOR_METAMODELS,
+    GenerationConfig,
+)
+from repro.metagen.metamodel import Operation, OperationParam
+
+
+class TestContainerMetamodels:
+    def test_every_table1_kind_has_a_metamodel(self):
+        assert set(CONTAINER_METAMODELS) == {"read_buffer", "write_buffer", "queue",
+                                             "stack", "vector", "assoc_array"}
+
+    def test_metamodel_bindings_cover_the_registered_library(self):
+        # Every binding the runtime library registers can also be generated.
+        from repro.core import bindings_for
+        for kind, metamodel in CONTAINER_METAMODELS.items():
+            for binding in bindings_for(kind):
+                if binding in ("registers", "cam", "bram", "lifo", "linebuffer3"):
+                    # On-chip-only bindings may be absent from some metamodels,
+                    # but where present they must be well-formed.
+                    if binding not in metamodel.bindings:
+                        continue
+                assert binding in metamodel.bindings, (kind, binding)
+
+    def test_operation_lookup(self):
+        metamodel = CONTAINER_METAMODELS["read_buffer"]
+        assert metamodel.operation_names() == ["empty", "size", "pop"]
+        assert metamodel.get_operation("pop").has_done
+        with pytest.raises(KeyError):
+            metamodel.get_operation("teleport")
+
+    def test_binding_lookup_error_lists_alternatives(self):
+        metamodel = CONTAINER_METAMODELS["vector"]
+        with pytest.raises(KeyError) as excinfo:
+            metamodel.get_binding("flash")
+        assert "bram" in str(excinfo.value)
+
+    def test_select_operations_subset_and_validation(self):
+        metamodel = CONTAINER_METAMODELS["queue"]
+        config = GenerationConfig(name="q", used_operations=frozenset({"push"}))
+        assert [op.name for op in metamodel.select_operations(config)] == ["push"]
+        full = GenerationConfig(name="q")
+        assert len(metamodel.select_operations(full)) == 4
+        with pytest.raises(KeyError):
+            metamodel.select_operations(
+                GenerationConfig(name="q", used_operations=frozenset({"warp"})))
+
+    def test_external_bindings_marked(self):
+        assert CONTAINER_METAMODELS["read_buffer"].bindings["sram"].external
+        assert not CONTAINER_METAMODELS["read_buffer"].bindings["fifo"].external
+
+
+class TestIteratorMetamodels:
+    def test_expected_families_present(self):
+        assert {"read_buffer_forward", "write_buffer_forward", "vector_random",
+                "read_buffer_window"} <= set(ITERATOR_METAMODELS)
+
+    def test_random_iterator_metamodel_has_full_operation_set(self):
+        random_it = ITERATOR_METAMODELS["vector_random"]
+        assert set(random_it.operation_names()) == {"inc", "dec", "read", "write",
+                                                    "index"}
+        assert random_it.readable and random_it.writable
+
+    def test_window_iterator_metamodel_reads_three_pixels(self):
+        window = ITERATOR_METAMODELS["read_buffer_window"]
+        read_op = [op for op in window.operations if op.name == "read"][0]
+        assert [param.name for param in read_op.params] == ["col_top", "col_mid",
+                                                            "col_bot"]
+
+    def test_select_operations_respects_config(self):
+        forward = ITERATOR_METAMODELS["read_buffer_forward"]
+        config = GenerationConfig(name="it", used_operations=frozenset({"inc"}))
+        assert [op.name for op in forward.select_operations(config)] == ["inc"]
+
+
+class TestGenerationConfig:
+    def test_defaults(self):
+        config = GenerationConfig(name="x")
+        assert config.effective_bus_width() == config.data_width == 8
+        assert config.beats_per_element() == 1
+        assert not config.shared_resource
+
+    def test_bus_width_and_beats(self):
+        config = GenerationConfig(name="x", data_width=32, bus_width=8)
+        assert config.effective_bus_width() == 8
+        assert config.beats_per_element() == 4
+
+    def test_operation_and_param_dataclasses(self):
+        param = OperationParam("data", "out")
+        op = Operation("pop", params=(param,), description="take one")
+        assert op.has_done
+        assert op.params[0].width is None
+        assert op.description == "take one"

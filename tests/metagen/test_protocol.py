@@ -1,0 +1,55 @@
+"""Tests for communication-protocol selection."""
+
+import pytest
+
+from repro.metagen import (
+    PROTOCOLS,
+    REQ_ACK,
+    STROBE,
+    STROBE_DONE,
+    VALID_READY,
+    protocol_for_binding,
+    select_protocol,
+)
+
+
+def test_catalog_contents():
+    assert set(PROTOCOLS) == {"strobe", "valid_ready", "req_ack", "strobe_done"}
+    assert PROTOCOLS["req_ack"] is REQ_ACK
+
+
+def test_properties_of_each_protocol():
+    assert not STROBE.supports_backpressure
+    assert VALID_READY.supports_backpressure
+    assert not VALID_READY.supports_variable_latency
+    assert REQ_ACK.supports_variable_latency
+    assert STROBE_DONE.supports_variable_latency
+    assert REQ_ACK.min_cycles_per_transfer > VALID_READY.min_cycles_per_transfer
+
+
+def test_selection_prefers_cheapest_compatible():
+    # Fixed latency + backpressure: the streaming handshake wins.
+    assert select_protocol(fixed_latency=True, needs_backpressure=True) is VALID_READY
+    # No backpressure needed and fixed latency: the bare strobe suffices.
+    assert select_protocol(fixed_latency=True, needs_backpressure=False) is STROBE
+    # Variable latency forces a completion signal.
+    chosen = select_protocol(fixed_latency=False, needs_backpressure=True)
+    assert chosen.supports_variable_latency
+
+
+def test_override_is_validated():
+    assert select_protocol(True, True, override="req_ack") is REQ_ACK
+    with pytest.raises(ValueError):
+        select_protocol(False, True, override="valid_ready")
+    with pytest.raises(ValueError):
+        select_protocol(True, True, override="strobe")
+    with pytest.raises(KeyError):
+        select_protocol(True, True, override="smoke_signals")
+
+
+def test_binding_mapping():
+    assert protocol_for_binding("fifo").name == "valid_ready"
+    assert protocol_for_binding("lifo").name == "valid_ready"
+    assert protocol_for_binding("bram").name == "valid_ready"
+    assert protocol_for_binding("sram").supports_variable_latency
+    assert protocol_for_binding("sram", override="req_ack") is REQ_ACK

@@ -1,0 +1,75 @@
+"""Tests for the VHDL AST and emitter."""
+
+from repro.metagen import Architecture, Entity, Generic, Port, VHDLFile, check_balanced
+from repro.metagen.vhdl import IN, OUT, std_logic, std_logic_vector
+
+
+def test_type_helpers():
+    assert std_logic() == "std_logic"
+    assert std_logic_vector(8) == "std_logic_vector(7 downto 0)"
+    assert std_logic_vector(1) == "std_logic_vector(0 downto 0)"
+
+
+def test_entity_emission_groups_and_semicolons():
+    entity = Entity(name="widget")
+    entity.add_group("methods", [Port("m_go", IN, std_logic())])
+    entity.add_group("params", [Port("data", OUT, std_logic_vector(8)),
+                                Port("done", OUT, std_logic())])
+    text = entity.emit()
+    assert "entity widget is" in text
+    assert "-- methods" in text
+    assert "-- params" in text
+    assert "m_go : in std_logic;" in text
+    # The final port has no trailing semicolon.
+    assert "done : out std_logic\n" in text
+    assert text.rstrip().endswith("end widget;")
+    assert entity.port_names() == ["m_go", "data", "done"]
+
+
+def test_entity_with_generics():
+    entity = Entity(name="gen", generics=[Generic("WIDTH", "natural", "8")])
+    text = entity.emit()
+    assert "generic (" in text
+    assert "WIDTH : natural := 8" in text
+
+
+def test_architecture_declarations_and_statements():
+    entity = Entity(name="w")
+    arch = Architecture(name="rtl", entity=entity)
+    arch.declare_signal("count", "unsigned(3 downto 0)", "(others => '0')")
+    arch.declare_constant("DEPTH", "natural", "16")
+    arch.add("count <= count;")
+    text = arch.emit()
+    assert text.startswith("architecture rtl of w is")
+    assert "signal count" in text
+    assert "constant DEPTH" in text
+    assert text.rstrip().endswith("end rtl;")
+
+
+def test_vhdl_file_contains_libraries_and_filename():
+    entity = Entity(name="w")
+    arch = Architecture(name="rtl", entity=entity)
+    unit = VHDLFile(entity=entity, architecture=arch, header_comment="hello\nworld")
+    text = unit.emit()
+    assert "library ieee;" in text
+    assert "-- hello" in text and "-- world" in text
+    assert unit.filename() == "w.vhd"
+    assert unit.name == "w"
+
+
+def test_check_balanced_accepts_good_and_rejects_truncated():
+    entity = Entity(name="w")
+    arch = Architecture(name="rtl", entity=entity)
+    arch.add("\n".join([
+        "p: process(clk)",
+        "begin",
+        "  if rising_edge(clk) then",
+        "    q <= d;",
+        "  end if;",
+        "end process;",
+    ]))
+    good = VHDLFile(entity=entity, architecture=arch).emit()
+    assert check_balanced(good)
+    truncated = good.replace("end if;", "")
+    assert not check_balanced(truncated)
+    assert not check_balanced("-- nothing here")

@@ -1,0 +1,101 @@
+"""Tests for width adaptation: the plan, its VHDL fragment and the simulatable
+down/up converters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metagen import WidthAdaptationPlan, WidthDownConverter, WidthUpConverter
+from repro.rtl import Component, Simulator
+from repro.testing import stream_feed_and_drain
+
+
+class TestPlan:
+    def test_beats_and_need(self):
+        plan = WidthAdaptationPlan(24, 8)
+        assert plan.beats == 3
+        assert plan.needs_adaptation
+        assert not WidthAdaptationPlan(8, 8).needs_adaptation
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            WidthAdaptationPlan(24, 7)
+
+    def test_split_and_join(self):
+        plan = WidthAdaptationPlan(24, 8)
+        assert plan.split(0xABCDEF) == [0xAB, 0xCD, 0xEF]
+        assert plan.join([0xAB, 0xCD, 0xEF]) == 0xABCDEF
+        with pytest.raises(ValueError):
+            plan.join([1, 2])
+
+    def test_vhdl_fragment_mentions_beat_counter(self):
+        plan = WidthAdaptationPlan(24, 8)
+        fragment = plan.vhdl_fragment()
+        assert "beat_count" in fragment
+        assert "shift_reg" in fragment
+        assert "no adaptation" in WidthAdaptationPlan(8, 8).vhdl_fragment()
+
+    @given(value=st.integers(min_value=0, max_value=0xFFFFFF))
+    def test_property_split_join_roundtrip(self, value):
+        plan = WidthAdaptationPlan(24, 8)
+        assert plan.join(plan.split(value)) == value
+
+
+def build_down_up(element_width=24, bus_width=8):
+    """wide -> down-converter -> up-converter -> wide, connected back to back."""
+    top = Component("top")
+    down = top.child(WidthDownConverter("down", element_width, bus_width))
+    up = top.child(WidthUpConverter("up", element_width, bus_width))
+
+    @top.comb
+    def connect():
+        up.narrow_in.data.next = down.narrow_out.data.value
+        up.narrow_in.push.next = (down.narrow_out.valid.value
+                                  and up.narrow_in.ready.value)
+        down.narrow_out.pop.next = (down.narrow_out.valid.value
+                                    and up.narrow_in.ready.value)
+
+    return top, down, up, Simulator(top)
+
+
+class TestConverters:
+    def test_round_trip_preserves_wide_elements(self):
+        top, down, up, sim = build_down_up()
+        data = [0x123456, 0xABCDEF, 0x000001, 0xFFFFFF]
+        received = stream_feed_and_drain(sim, down.wide_in, up.wide_out, data)
+        assert received == data
+
+    def test_down_converter_emits_msb_first(self):
+        top = Component("top")
+        down = top.child(WidthDownConverter("down", 24, 8))
+        sim = Simulator(top)
+        beats = stream_feed_and_drain(sim, down.wide_in, down.narrow_out,
+                                      [0xA1B2C3], expected=3)
+        assert beats == [0xA1, 0xB2, 0xC3]
+
+    def test_up_converter_assembles_msb_first(self):
+        top = Component("top")
+        up = top.child(WidthUpConverter("up", 16, 8))
+        sim = Simulator(top)
+        words = stream_feed_and_drain(sim, up.narrow_in, up.wide_out,
+                                      [0xDE, 0xAD, 0xBE, 0xEF], expected=2)
+        assert words == [0xDEAD, 0xBEEF]
+
+    def test_converter_backpressure(self):
+        top = Component("top")
+        down = top.child(WidthDownConverter("down", 24, 8))
+        sim = Simulator(top)
+        # Push one element and never drain: the converter must stop accepting.
+        down.wide_in.data.force(0x111111)
+        down.wide_in.push.force(1)
+        sim.step()
+        down.wide_in.push.force(0)
+        sim.step(5)
+        assert down.wide_in.ready.value == 0
+        assert down.narrow_out.valid.value == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.lists(st.integers(min_value=0, max_value=0xFFFFFF),
+                         min_size=1, max_size=12))
+    def test_property_round_trip_for_any_pixel_sequence(self, data):
+        _top, down, up, sim = build_down_up()
+        assert stream_feed_and_drain(sim, down.wide_in, up.wide_out, data) == data

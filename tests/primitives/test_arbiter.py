@@ -1,0 +1,102 @@
+"""Unit tests for the fixed-priority and round-robin arbiters."""
+
+import pytest
+
+from repro.primitives import PriorityArbiter, RoundRobinArbiter
+from repro.rtl import Simulator
+
+
+class TestPriorityArbiter:
+    def make(self, n=3):
+        arb = PriorityArbiter("arb", n)
+        return arb, Simulator(arb)
+
+    def test_idle_when_no_requests(self):
+        arb, sim = self.make()
+        sim.settle()
+        assert arb.busy.value == 0
+        assert arb.granted() == -1
+
+    def test_lowest_index_wins(self):
+        arb, sim = self.make()
+        arb.requests[1].force(1)
+        arb.requests[2].force(1)
+        sim.settle()
+        assert arb.granted() == 1
+        arb.requests[0].force(1)
+        sim.settle()
+        assert arb.granted() == 0
+        assert arb.grant_index.value == 0
+
+    def test_single_grant_one_hot(self):
+        arb, sim = self.make()
+        for req in arb.requests:
+            req.force(1)
+        sim.settle()
+        assert sum(g.value for g in arb.grants) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PriorityArbiter("bad", 0)
+
+
+class TestRoundRobinArbiter:
+    def make(self, n=3):
+        arb = RoundRobinArbiter("arb", n)
+        return arb, Simulator(arb)
+
+    def test_grant_holds_while_request_persists(self):
+        arb, sim = self.make()
+        arb.requests[0].force(1)
+        arb.requests[1].force(1)
+        sim.settle()
+        first = arb.granted()
+        sim.step(3)
+        assert arb.granted() == first
+
+    def test_rotation_after_release(self):
+        arb, sim = self.make(n=2)
+        # Client 0 wins first.
+        arb.requests[0].force(1)
+        arb.requests[1].force(1)
+        sim.settle()
+        assert arb.granted() == 0
+        sim.step()
+        # Client 0 releases; client 1 must now be granted.
+        arb.requests[0].force(0)
+        sim.step()
+        assert arb.granted() == 1
+        # Client 0 requests again: client 1 keeps the grant until it releases.
+        arb.requests[0].force(1)
+        sim.step()
+        assert arb.granted() == 1
+        arb.requests[1].force(0)
+        sim.step()
+        assert arb.granted() == 0
+
+    def test_fair_sharing_over_many_rounds(self):
+        arb, sim = self.make(n=3)
+        grants = {0: 0, 1: 0, 2: 0}
+        for req in arb.requests:
+            req.force(1)
+        sim.settle()
+        for _ in range(60):
+            winner = arb.granted()
+            grants[winner] += 1
+            # The winner releases for one cycle so the pointer rotates.
+            arb.requests[winner].force(0)
+            sim.step()
+            arb.requests[winner].force(1)
+            sim.step()
+        counts = sorted(grants.values())
+        assert counts[-1] - counts[0] <= 2, f"unfair grant distribution: {grants}"
+
+    def test_idle_when_no_requests(self):
+        arb, sim = self.make()
+        sim.step(2)
+        assert arb.busy.value == 0
+        assert arb.granted() == -1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter("bad", 0)

@@ -1,0 +1,149 @@
+"""Unit and property tests for the synchronous FIFO core."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives import SyncFIFO
+from repro.rtl import Simulator
+
+
+def make(depth=8, width=8):
+    fifo = SyncFIFO("fifo", depth=depth, width=width)
+    return fifo, Simulator(fifo)
+
+
+def push(sim, fifo, value):
+    fifo.din.force(value)
+    fifo.push.force(1)
+    sim.step()
+    fifo.push.force(0)
+
+
+def pop(sim, fifo):
+    value = fifo.dout.value
+    fifo.pop.force(1)
+    sim.step()
+    fifo.pop.force(0)
+    return value
+
+
+def test_reset_state_is_empty():
+    fifo, _sim = make()
+    assert fifo.empty.value == 1
+    assert fifo.full.value == 0
+    assert fifo.count.value == 0
+    assert fifo.occupancy == 0
+
+
+def test_push_then_pop_preserves_order():
+    fifo, sim = make()
+    for value in [10, 20, 30]:
+        push(sim, fifo, value)
+    assert fifo.count.value == 3
+    assert fifo.contents() == [10, 20, 30]
+    assert [pop(sim, fifo) for _ in range(3)] == [10, 20, 30]
+    assert fifo.empty.value == 1
+
+
+def test_first_word_fall_through():
+    fifo, sim = make()
+    push(sim, fifo, 0x55)
+    assert fifo.empty.value == 0
+    assert fifo.dout.value == 0x55  # visible without popping
+    assert fifo.peek() == 0x55
+
+
+def test_full_blocks_push():
+    fifo, sim = make(depth=2)
+    push(sim, fifo, 1)
+    push(sim, fifo, 2)
+    assert fifo.full.value == 1
+    push(sim, fifo, 3)  # must be ignored
+    assert fifo.count.value == 2
+    assert fifo.contents() == [1, 2]
+
+
+def test_pop_on_empty_is_ignored():
+    fifo, sim = make()
+    fifo.pop.force(1)
+    sim.step(3)
+    fifo.pop.force(0)
+    assert fifo.empty.value == 1
+    assert fifo.total_popped == 0
+
+
+def test_simultaneous_push_pop_keeps_occupancy():
+    fifo, sim = make()
+    push(sim, fifo, 1)
+    fifo.din.force(2)
+    fifo.push.force(1)
+    fifo.pop.force(1)
+    sim.step()
+    fifo.push.force(0)
+    fifo.pop.force(0)
+    assert fifo.count.value == 1
+    assert fifo.contents() == [2]
+
+
+def test_pointer_wraparound():
+    fifo, sim = make(depth=4)
+    for round_index in range(3):
+        for i in range(4):
+            push(sim, fifo, round_index * 4 + i)
+        values = [pop(sim, fifo) for _ in range(4)]
+        assert values == [round_index * 4 + i for i in range(4)]
+
+
+def test_width_masks_data():
+    fifo, sim = make(width=4)
+    push(sim, fifo, 0xFF)
+    assert pop(sim, fifo) == 0xF
+
+
+def test_invalid_depth_rejected():
+    with pytest.raises(ValueError):
+        SyncFIFO("bad", depth=1, width=8)
+
+
+def test_statistics_counters():
+    fifo, sim = make()
+    push(sim, fifo, 1)
+    push(sim, fifo, 2)
+    pop(sim, fifo)
+    assert fifo.total_pushed == 2
+    assert fifo.total_popped == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["push", "pop", "both", "idle"]),
+                              st.integers(min_value=0, max_value=255)),
+                    min_size=1, max_size=120),
+       depth=st.sampled_from([2, 4, 8, 16]))
+def test_fifo_matches_reference_model(ops, depth):
+    """Random operation sequences behave exactly like a bounded deque."""
+    fifo = SyncFIFO("fifo", depth=depth, width=8)
+    sim = Simulator(fifo)
+    model = deque()
+    for op, value in ops:
+        do_push = op in ("push", "both")
+        do_pop = op in ("pop", "both")
+        fifo.din.force(value)
+        fifo.push.force(1 if do_push else 0)
+        fifo.pop.force(1 if do_pop else 0)
+        # Mirror the hardware's decision using the *pre-edge* status.
+        will_push = do_push and len(model) < depth
+        will_pop = do_pop and len(model) > 0
+        popped_expected = model[0] if will_pop else None
+        popped_actual = fifo.dout.value if will_pop else None
+        sim.step()
+        if will_pop:
+            model.popleft()
+            assert popped_actual == popped_expected
+        if will_push:
+            model.append(value)
+        assert fifo.occupancy == len(model)
+        assert list(fifo.contents()) == list(model)
+    fifo.push.force(0)
+    fifo.pop.force(0)

@@ -1,0 +1,107 @@
+"""Unit and property tests for the synchronous LIFO core."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives import SyncLIFO
+from repro.rtl import Simulator
+
+
+def make(depth=8, width=8):
+    lifo = SyncLIFO("lifo", depth=depth, width=width)
+    return lifo, Simulator(lifo)
+
+
+def push(sim, lifo, value):
+    lifo.din.force(value)
+    lifo.push.force(1)
+    sim.step()
+    lifo.push.force(0)
+
+
+def pop(sim, lifo):
+    value = lifo.dout.value
+    lifo.pop.force(1)
+    sim.step()
+    lifo.pop.force(0)
+    return value
+
+
+def test_reset_state_is_empty():
+    lifo, _sim = make()
+    assert lifo.empty.value == 1
+    assert lifo.full.value == 0
+
+
+def test_last_in_first_out_order():
+    lifo, sim = make()
+    for value in [1, 2, 3]:
+        push(sim, lifo, value)
+    assert lifo.contents() == [1, 2, 3]
+    assert lifo.peek() == 3
+    assert [pop(sim, lifo) for _ in range(3)] == [3, 2, 1]
+
+
+def test_full_blocks_push():
+    lifo, sim = make(depth=2)
+    push(sim, lifo, 1)
+    push(sim, lifo, 2)
+    assert lifo.full.value == 1
+    push(sim, lifo, 3)
+    assert lifo.contents() == [1, 2]
+
+
+def test_pop_on_empty_ignored():
+    lifo, sim = make()
+    lifo.pop.force(1)
+    sim.step(2)
+    lifo.pop.force(0)
+    assert lifo.empty.value == 1
+    assert lifo.total_popped == 0
+
+
+def test_simultaneous_push_pop_replaces_top():
+    lifo, sim = make()
+    push(sim, lifo, 7)
+    lifo.din.force(9)
+    lifo.push.force(1)
+    lifo.pop.force(1)
+    sim.step()
+    lifo.push.force(0)
+    lifo.pop.force(0)
+    assert lifo.occupancy == 1
+    assert lifo.peek() == 9
+
+
+def test_invalid_depth_rejected():
+    with pytest.raises(ValueError):
+        SyncLIFO("bad", depth=1, width=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["push", "pop", "idle"]),
+                              st.integers(min_value=0, max_value=255)),
+                    min_size=1, max_size=100),
+       depth=st.sampled_from([2, 4, 8]))
+def test_lifo_matches_reference_model(ops, depth):
+    """Random push/pop sequences behave exactly like a bounded Python list."""
+    lifo = SyncLIFO("lifo", depth=depth, width=8)
+    sim = Simulator(lifo)
+    model = []
+    for op, value in ops:
+        if op == "push":
+            will_push = len(model) < depth
+            push(sim, lifo, value)
+            if will_push:
+                model.append(value)
+        elif op == "pop":
+            will_pop = bool(model)
+            expected = model[-1] if will_pop else None
+            actual = pop(sim, lifo)
+            if will_pop:
+                assert actual == expected
+                model.pop()
+        else:
+            sim.step()
+        assert lifo.occupancy == len(model)
+        assert lifo.contents() == model

@@ -1,0 +1,77 @@
+"""Unit tests for the 3-line buffer used by the blur design."""
+
+import pytest
+
+from repro.primitives import LineBuffer3
+from repro.rtl import Simulator
+from repro.video import random_frame
+
+
+def make(line_width=6, width=8):
+    lb = LineBuffer3("lb", line_width=line_width, width=width)
+    return lb, Simulator(lb)
+
+
+def push_pixel(sim, lb, value):
+    """Push one pixel and return the column presented during that cycle."""
+    lb.din.force(value)
+    lb.push.force(1)
+    sim.settle()
+    column = (lb.col_top.value, lb.col_mid.value, lb.col_bot.value)
+    valid = lb.window_valid.value
+    sim.step()
+    lb.push.force(0)
+    return column, valid
+
+
+def test_window_not_valid_during_first_two_lines():
+    lb, sim = make(line_width=4)
+    for pixel in range(8):  # two full lines
+        _column, valid = push_pixel(sim, lb, pixel)
+        assert valid == 0
+    assert lb.lines_filled == 2
+
+
+def test_columns_match_image_neighbourhood():
+    width, height = 6, 5
+    frame = random_frame(width, height, seed=21)
+    lb, sim = make(line_width=width)
+    for y in range(height):
+        for x in range(width):
+            column, valid = push_pixel(sim, lb, frame[y][x])
+            if y >= 2:
+                assert valid == 1
+                assert column == (frame[y - 2][x], frame[y - 1][x], frame[y][x])
+            else:
+                assert valid == 0
+
+
+def test_line_history_contents():
+    lb, sim = make(line_width=4)
+    for pixel in range(8):
+        push_pixel(sim, lb, pixel)
+    assert lb.line_history(0) == [0, 1, 2, 3]
+    assert lb.line_history(1) == [4, 5, 6, 7]
+    with pytest.raises(ValueError):
+        lb.line_history(2)
+
+
+def test_x_counter_wraps_per_line():
+    lb, sim = make(line_width=3)
+    positions = []
+    for pixel in range(7):
+        positions.append(lb.x.value)
+        push_pixel(sim, lb, pixel)
+    assert positions == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_no_push_no_advance():
+    lb, sim = make(line_width=4)
+    sim.step(5)
+    assert lb.total_pushed == 0
+    assert lb.lines_filled == 0
+
+
+def test_invalid_line_width():
+    with pytest.raises(ValueError):
+        LineBuffer3("bad", line_width=1, width=8)

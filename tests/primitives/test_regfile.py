@@ -1,0 +1,109 @@
+"""Unit tests for the register file and the content-addressable memory."""
+
+import pytest
+
+from repro.primitives import ContentAddressableMemory, RegisterFile
+from repro.rtl import Simulator
+
+
+class TestRegisterFile:
+    def make(self, depth=8, width=8):
+        regs = RegisterFile("regs", depth=depth, width=width)
+        return regs, Simulator(regs)
+
+    def test_write_then_combinational_read(self):
+        regs, sim = self.make()
+        regs.wen.force(1)
+        regs.waddr.force(2)
+        regs.wdata.force(0x42)
+        sim.step()
+        regs.wen.force(0)
+        regs.raddr.force(2)
+        sim.settle()
+        assert regs.rdata.value == 0x42
+
+    def test_write_disabled(self):
+        regs, sim = self.make()
+        regs.wen.force(0)
+        regs.waddr.force(1)
+        regs.wdata.force(9)
+        sim.step(2)
+        assert regs.read_word(1) == 0
+
+    def test_backdoor_and_dump(self):
+        regs, _sim = self.make(depth=4)
+        regs.write_word(3, 7)
+        assert regs.read_word(3) == 7
+        assert regs.dump() == [0, 0, 0, 7]
+
+    def test_register_storage_counts_as_flip_flops(self):
+        regs, _sim = self.make(depth=4, width=8)
+        assert regs.state_bits() == 32
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            RegisterFile("bad", depth=1, width=8)
+
+
+class TestContentAddressableMemory:
+    def make(self, depth=4, key_width=8, value_width=8):
+        cam = ContentAddressableMemory("cam", depth=depth, key_width=key_width,
+                                       value_width=value_width)
+        return cam, Simulator(cam)
+
+    def insert(self, sim, cam, key, value):
+        cam.insert_key.force(key)
+        cam.insert_value.force(value)
+        cam.insert.force(1)
+        sim.step()
+        cam.insert.force(0)
+
+    def test_insert_and_lookup(self):
+        cam, sim = self.make()
+        self.insert(sim, cam, 0x10, 0xAA)
+        self.insert(sim, cam, 0x20, 0xBB)
+        cam.lookup_key.force(0x20)
+        sim.settle()
+        assert cam.hit.value == 1
+        assert cam.hit_value.value == 0xBB
+        cam.lookup_key.force(0x30)
+        sim.settle()
+        assert cam.hit.value == 0
+
+    def test_insert_existing_key_updates_value(self):
+        cam, sim = self.make()
+        self.insert(sim, cam, 5, 1)
+        self.insert(sim, cam, 5, 2)
+        assert cam.entries() == {5: 2}
+        assert cam.occupancy == 1
+
+    def test_remove(self):
+        cam, sim = self.make()
+        self.insert(sim, cam, 1, 10)
+        self.insert(sim, cam, 2, 20)
+        cam.remove_key.force(1)
+        cam.remove.force(1)
+        sim.step()
+        cam.remove.force(0)
+        assert cam.entries() == {2: 20}
+
+    def test_full_flag_and_capacity(self):
+        cam, sim = self.make(depth=2)
+        self.insert(sim, cam, 1, 1)
+        self.insert(sim, cam, 2, 2)
+        sim.settle()
+        assert cam.full.value == 1
+        # A third distinct key cannot be allocated.
+        self.insert(sim, cam, 3, 3)
+        assert cam.occupancy == 2
+        assert 3 not in cam.entries()
+
+    def test_count_output(self):
+        cam, sim = self.make()
+        self.insert(sim, cam, 9, 9)
+        sim.settle()
+        assert cam.count.value == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ContentAddressableMemory("bad", depth=0, key_width=8, value_width=8)

@@ -1,0 +1,96 @@
+"""Unit tests for the external asynchronous SRAM model and its req/ack handshake."""
+
+import pytest
+
+from repro.primitives import AsyncSRAM
+from repro.rtl import Simulator
+
+
+def make(depth=32, width=8, latency=2):
+    sram = AsyncSRAM("sram", depth=depth, width=width, latency=latency)
+    return sram, Simulator(sram)
+
+
+def access(sim, sram, addr, write=False, value=0, max_cycles=50):
+    """Drive one full req/ack transaction and return (read_data, cycles_to_ack)."""
+    sram.addr.force(addr)
+    sram.we.force(1 if write else 0)
+    sram.wdata.force(value)
+    sram.req.force(1)
+    cycles = 0
+    while not sram.ack.value:
+        sim.step()
+        cycles += 1
+        assert cycles <= max_cycles, "SRAM never acknowledged"
+    data = sram.rdata.value
+    sram.req.force(0)
+    while sram.ack.value:
+        sim.step()
+    return data, cycles
+
+
+def test_write_then_read_back():
+    sram, sim = make()
+    access(sim, sram, 5, write=True, value=0xA5)
+    assert sram.read_word(5) == 0xA5
+    data, _ = access(sim, sram, 5)
+    assert data == 0xA5
+
+
+def test_latency_matches_parameter():
+    for latency in (1, 2, 4):
+        sram = AsyncSRAM("sram", depth=16, width=8, latency=latency)
+        sim = Simulator(sram)
+        _, cycles = access(sim, sram, 0)
+        assert cycles == latency
+
+
+def test_ack_clears_after_req_drops():
+    sram, sim = make(latency=1)
+    sram.addr.force(1)
+    sram.req.force(1)
+    sim.step(2)
+    assert sram.ack.value == 1
+    sim.step(3)
+    assert sram.ack.value == 1, "ack must hold while req is high"
+    sram.req.force(0)
+    sim.step(2)
+    assert sram.ack.value == 0
+
+
+def test_back_to_back_transactions():
+    sram, sim = make()
+    for i in range(8):
+        access(sim, sram, i, write=True, value=i * 3)
+    for i in range(8):
+        data, _ = access(sim, sram, i)
+        assert data == (i * 3) & 0xFF
+
+
+def test_backdoor_load_and_dump():
+    sram, _sim = make()
+    sram.load([1, 2, 3], offset=4)
+    assert sram.dump(4, 3) == [1, 2, 3]
+    sram.write_word(0, 99)
+    assert sram.read_word(0) == 99
+
+
+def test_statistics_counters():
+    sram, sim = make()
+    access(sim, sram, 0, write=True, value=1)
+    access(sim, sram, 0)
+    access(sim, sram, 0)
+    assert sram.total_writes == 1
+    assert sram.total_reads == 2
+
+
+def test_is_external_for_the_estimator():
+    sram, _sim = make()
+    assert sram.external is True
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        AsyncSRAM("bad", depth=1, width=8)
+    with pytest.raises(ValueError):
+        AsyncSRAM("bad", depth=8, width=8, latency=0)

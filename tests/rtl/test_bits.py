@@ -1,0 +1,236 @@
+"""Unit and property tests for the fixed-width value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl import Bits, WidthError, bits_for, clog2, mask
+
+
+class TestHelpers:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(16) == 0xFFFF
+
+    def test_mask_negative_width(self):
+        with pytest.raises(WidthError):
+            mask(-1)
+
+    def test_bits_for(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(255) == 8
+        assert bits_for(256) == 9
+
+    def test_bits_for_negative(self):
+        with pytest.raises(WidthError):
+            bits_for(-1)
+
+    def test_clog2(self):
+        assert clog2(1) == 0
+        assert clog2(2) == 1
+        assert clog2(3) == 2
+        assert clog2(512) == 9
+        assert clog2(513) == 10
+
+    def test_clog2_invalid(self):
+        with pytest.raises(WidthError):
+            clog2(0)
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = Bits(8, 0x5A)
+        assert b.width == 8
+        assert b.value == 0x5A
+        assert int(b) == 0x5A
+        assert len(b) == 8
+
+    def test_wraps_on_construction(self):
+        assert Bits(8, 0x1FF).value == 0xFF
+        assert Bits(4, 16).value == 0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            Bits(0, 0)
+
+    def test_max(self):
+        assert Bits(5).max == 31
+
+    def test_bool(self):
+        assert not Bits(8, 0)
+        assert Bits(8, 1)
+
+    def test_from_signed_roundtrip(self):
+        b = Bits.from_signed(8, -1)
+        assert b.value == 0xFF
+        assert b.signed() == -1
+        assert Bits.from_signed(8, 127).signed() == 127
+        assert Bits.from_signed(8, -128).signed() == -128
+
+    def test_resize(self):
+        assert Bits(8, 0xAB).resize(4).value == 0xB
+        assert Bits(4, 0xB).resize(8).value == 0xB
+
+
+class TestSlicing:
+    def test_single_bit(self):
+        b = Bits(8, 0b1010_0101)
+        assert int(b[0]) == 1
+        assert int(b[1]) == 0
+        assert int(b[7]) == 1
+        assert b.bit(5) == 1
+
+    def test_negative_index(self):
+        assert int(Bits(8, 0x80)[-1]) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(WidthError):
+            Bits(8)[8]
+
+    def test_slice_msb_lsb(self):
+        b = Bits(8, 0xA5)
+        assert b[7:4].value == 0xA
+        assert b[3:0].value == 0x5
+        assert b[7:4].width == 4
+
+    def test_slice_full_default(self):
+        b = Bits(8, 0xA5)
+        assert b[:].value == 0xA5
+
+    def test_slice_wrong_order(self):
+        with pytest.raises(WidthError):
+            Bits(8)[0:7]
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(WidthError):
+            Bits(8)[9:0]
+
+
+class TestConcatSplit:
+    def test_concat(self):
+        high = Bits(8, 0xAB)
+        low = Bits(8, 0xCD)
+        joined = high.concat(low)
+        assert joined.width == 16
+        assert joined.value == 0xABCD
+
+    def test_join(self):
+        parts = [Bits(4, 0xA), Bits(4, 0xB), Bits(4, 0xC)]
+        assert Bits.join(parts).value == 0xABC
+
+    def test_join_empty(self):
+        with pytest.raises(WidthError):
+            Bits.join([])
+
+    def test_replicate(self):
+        assert Bits(4, 0xA).replicate(3).value == 0xAAA
+
+    def test_split(self):
+        parts = Bits(24, 0xABCDEF).split(8)
+        assert [p.value for p in parts] == [0xAB, 0xCD, 0xEF]
+        assert all(p.width == 8 for p in parts)
+
+    def test_split_indivisible(self):
+        with pytest.raises(WidthError):
+            Bits(10, 0).split(3)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert (Bits(8, 0xFF) + 1).value == 0
+        assert (Bits(8, 200) + Bits(8, 100)).value == (300 % 256)
+
+    def test_sub_wraps(self):
+        assert (Bits(8, 0) - 1).value == 0xFF
+
+    def test_radd_rsub(self):
+        assert (1 + Bits(8, 1)).value == 2
+        assert (0 - Bits(8, 1)).value == 0xFF
+
+    def test_mul(self):
+        assert (Bits(8, 16) * 16).value == 0
+        assert (Bits(16, 16) * 16).value == 256
+
+    def test_div_mod(self):
+        assert (Bits(8, 100) // 7).value == 14
+        assert (Bits(8, 100) % 7).value == 2
+
+    def test_shifts(self):
+        assert (Bits(8, 0x81) << 1).value == 0x02
+        assert (Bits(8, 0x81) >> 1).value == 0x40
+
+    def test_bitwise(self):
+        assert (Bits(8, 0xF0) & 0x3C).value == 0x30
+        assert (Bits(8, 0xF0) | 0x0F).value == 0xFF
+        assert (Bits(8, 0xFF) ^ 0x0F).value == 0xF0
+        assert (~Bits(8, 0x0F)).value == 0xF0
+
+    def test_comparisons(self):
+        assert Bits(8, 5) == 5
+        assert Bits(8, 5) == Bits(16, 5)
+        assert Bits(8, 5) != 6
+        assert Bits(8, 5) < 6
+        assert Bits(8, 5) <= 5
+        assert Bits(8, 5) > 4
+        assert Bits(8, 5) >= 5
+
+    def test_formatting(self):
+        assert Bits(8, 5).bin() == "00000101"
+        assert Bits(12, 0xAB).hex() == "0ab"
+        assert "Bits(8" in repr(Bits(8, 1))
+
+    def test_hashable(self):
+        assert len({Bits(8, 1), Bits(8, 1), Bits(4, 1)}) == 2
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+widths = st.integers(min_value=1, max_value=64)
+values = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+
+@given(width=widths, value=values)
+def test_value_always_fits_width(width, value):
+    b = Bits(width, value)
+    assert 0 <= b.value <= mask(width)
+
+
+@given(width=widths, a=values, b=values)
+def test_add_matches_modular_arithmetic(width, a, b):
+    assert (Bits(width, a) + b).value == (a % 2 ** width + b) % 2 ** width
+
+
+@given(width=widths, a=values, b=values)
+def test_sub_matches_modular_arithmetic(width, a, b):
+    assert (Bits(width, a) - b).value == ((a % 2 ** width) - b) % 2 ** width
+
+
+@given(width=st.integers(min_value=1, max_value=16),
+       part=st.integers(min_value=1, max_value=16),
+       value=values)
+def test_split_join_roundtrip(width, part, value):
+    total = width * part
+    original = Bits(total, value)
+    assert Bits.join(original.split(width)).value == original.value
+
+
+@given(width=widths, value=values)
+def test_invert_is_involution(width, value):
+    b = Bits(width, value)
+    assert (~~b).value == b.value
+
+
+@given(width=widths, value=values)
+def test_signed_roundtrip(width, value):
+    b = Bits(width, value)
+    assert Bits.from_signed(width, b.signed()).value == b.value
+
+
+@given(width=widths, value=values, shift=st.integers(min_value=0, max_value=70))
+def test_shift_right_never_exceeds_width(width, value, shift):
+    assert (Bits(width, value) >> shift).value <= mask(width)

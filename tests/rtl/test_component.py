@@ -1,0 +1,138 @@
+"""Unit tests for the component hierarchy and memories."""
+
+import pytest
+
+from repro.rtl import Component, ElaborationError, Memory
+
+
+def test_child_attachment_and_paths():
+    top = Component("top")
+    mid = top.child(Component("mid"))
+    leaf = mid.child(Component("leaf"))
+    assert leaf.path() == "top.mid.leaf"
+    assert top.get_child("mid") is mid
+    assert top.find("mid.leaf") is leaf
+    assert [c.name for c in top.walk()] == ["top", "mid", "leaf"]
+    assert mid.parent is top
+
+
+def test_duplicate_child_name_rejected():
+    top = Component("top")
+    top.child(Component("a"))
+    with pytest.raises(ElaborationError):
+        top.child(Component("a"))
+
+
+def test_reparenting_rejected():
+    a, b = Component("a"), Component("b")
+    shared = Component("shared")
+    a.child(shared)
+    with pytest.raises(ElaborationError):
+        b.child(shared)
+
+
+def test_missing_child_lookup():
+    with pytest.raises(ElaborationError):
+        Component("top").get_child("ghost")
+
+
+def test_signal_and_state_declaration():
+    comp = Component("c")
+    w = comp.signal(8, name="w")
+    r = comp.state(4, init=3, name="r")
+    assert w.kind == "wire"
+    assert r.kind == "reg"
+    assert r.value == 3
+    assert comp.state_bits() == 4
+    assert set(comp.signals) == {w, r}
+
+
+def test_all_signals_covers_descendants():
+    top = Component("top")
+    top.signal(1)
+    child = top.child(Component("child"))
+    child.state(8)
+    assert len(top.all_signals()) == 2
+    assert top.state_bits() == 0  # own only
+    assert sum(c.state_bits() for c in top.walk()) == 8
+
+
+def test_adopt_signal():
+    from repro.rtl import Signal
+    comp = Component("c")
+    external = Signal(8, name="ext")
+    comp.adopt_signal(external)
+    assert external in comp.signals
+
+
+def test_process_registration():
+    comp = Component("c")
+
+    @comp.comb
+    def comb_proc():
+        pass
+
+    @comp.seq
+    def seq_proc():
+        pass
+
+    assert comb_proc in comp.comb_procs
+    assert seq_proc in comp.seq_procs
+    assert comp.all_comb_procs() == [comb_proc]
+    assert comp.all_seq_procs() == [seq_proc]
+
+
+def test_reset_state_restores_signals_and_memories():
+    comp = Component("c")
+    reg = comp.state(8, init=7)
+    mem = comp.memory(4, 8, init=[1, 2, 3, 4])
+    reg.force(99)
+    mem[0] = 42
+    comp.reset_state()
+    assert reg.value == 7
+    assert mem[0] == 1
+
+
+class TestMemory:
+    def test_basic_read_write(self):
+        mem = Memory(8, 8)
+        mem[3] = 0x5A
+        assert mem[3] == 0x5A
+        assert len(mem) == 8
+        assert mem.bits == 64
+
+    def test_wrapping_address_and_value(self):
+        mem = Memory(4, 8)
+        mem[5] = 0x1FF   # address wraps to 1, value masked to 8 bits
+        assert mem[1] == 0xFF
+
+    def test_init_and_dump(self):
+        mem = Memory(4, 8, init=[1, 2])
+        assert mem.dump() == [1, 2, 0, 0]
+        assert mem.dump(1, 2) == [2, 0]
+
+    def test_load(self):
+        mem = Memory(4, 8)
+        mem.load([9, 8], offset=2)
+        assert mem.dump() == [0, 0, 9, 8]
+
+    def test_load_overflow_rejected(self):
+        with pytest.raises(ElaborationError):
+            Memory(4, 8).load([1, 2, 3], offset=2)
+
+    def test_oversized_init_rejected(self):
+        with pytest.raises(ElaborationError):
+            Memory(2, 8, init=[1, 2, 3])
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ElaborationError):
+            Memory(0, 8)
+        with pytest.raises(ElaborationError):
+            Memory(8, 0)
+
+    def test_memory_bits_accounting(self):
+        comp = Component("c")
+        comp.memory(16, 8)
+        comp.memory(4, 4)
+        assert comp.memory_bits() == 16 * 8 + 16
+        assert len(comp.memories) == 2

@@ -1,0 +1,99 @@
+"""Unit tests for signals and signal bundles."""
+
+import pytest
+
+from repro.rtl import REG, WIRE, Bits, Signal, SignalBundle, WidthError, register, wire
+
+
+class TestSignal:
+    def test_initial_value(self):
+        sig = Signal(8, init=0x42)
+        assert sig.value == 0x42
+        assert sig.next == 0x42
+
+    def test_two_phase_update(self):
+        sig = Signal(8)
+        sig.next = 5
+        assert sig.value == 0          # not visible until commit
+        assert sig.commit() is True
+        assert sig.value == 5
+        assert sig.commit() is False   # no further change
+
+    def test_next_masked_to_width(self):
+        sig = Signal(4)
+        sig.next = 0x1F
+        sig.commit()
+        assert sig.value == 0xF
+
+    def test_init_masked(self):
+        assert Signal(4, init=0x12).value == 0x2
+
+    def test_force(self):
+        sig = Signal(8)
+        sig.force(0x7)
+        assert sig.value == 0x7
+        assert sig.next == 0x7
+
+    def test_reset(self):
+        sig = Signal(8, init=3)
+        sig.force(9)
+        sig.reset()
+        assert sig.value == 3
+        assert sig.next == 3
+
+    def test_drive_alias(self):
+        sig = Signal(8)
+        sig.drive(9)
+        sig.commit()
+        assert sig.value == 9
+
+    def test_kinds(self):
+        assert wire(1).kind == WIRE
+        assert register(1).kind == REG
+        with pytest.raises(WidthError):
+            Signal(1, kind="latch")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            Signal(0)
+
+    def test_conversions(self):
+        sig = Signal(8, init=5)
+        assert int(sig) == 5
+        assert bool(sig)
+        assert sig == 5
+        assert sig.bits == Bits(8, 5)
+        assert isinstance(sig.bits, Bits)
+
+    def test_identity_equality_between_signals(self):
+        a, b = Signal(8, init=1), Signal(8, init=1)
+        assert a == a
+        assert not (a == b)
+
+    def test_repr_contains_name(self):
+        assert "pixel" in repr(Signal(8, name="pixel"))
+
+
+class TestSignalBundle:
+    def test_fields(self):
+        a, b = Signal(1, name="a"), Signal(8, name="b")
+        bundle = SignalBundle("bus", a=a, b=b)
+        assert bundle.a is a
+        assert bundle["b"] is b
+        assert "a" in bundle
+        assert "c" not in bundle
+        assert set(bundle.signals()) == {"a", "b"}
+
+    def test_add(self):
+        bundle = SignalBundle("bus")
+        sig = bundle.add("x", Signal(4, name="x"))
+        assert bundle.x is sig
+        assert "x" in bundle
+
+    def test_iter(self):
+        bundle = SignalBundle("bus", a=Signal(1), b=Signal(2))
+        names = [name for name, _sig in bundle]
+        assert names == ["a", "b"]
+
+    def test_repr(self):
+        assert "bus" in repr(SignalBundle("bus", a=Signal(1)))

@@ -1,0 +1,64 @@
+"""Unit tests for the recorder and VCD writer."""
+
+import io
+
+from repro.rtl import Component, Recorder, Simulator, VCDWriter
+
+
+class Ramp(Component):
+    def __init__(self):
+        super().__init__("ramp")
+        self.value = self.state(8, name="value")
+        self.parity = self.signal(1, name="parity")
+
+        @self.seq
+        def count():
+            self.value.next = self.value.value + 1
+
+        @self.comb
+        def compute_parity():
+            self.parity.next = self.value.value & 1
+
+
+def test_recorder_collects_series():
+    design = Ramp()
+    sim = Simulator(design)
+    recorder = Recorder(sim, [design.value, design.parity])
+    sim.step(5)
+    assert recorder.series("value") == [1, 2, 3, 4, 5]
+    assert recorder.series("parity") == [1, 0, 1, 0, 1]
+    assert recorder.first_cycle_where("value", 3) == 3
+    assert recorder.first_cycle_where("value", 99) is None
+    assert recorder.count_cycles_where("parity", 1) == 3
+    assert len(recorder.rows) == 5
+    assert recorder.rows[0]["cycle"] == 1
+
+
+def test_vcd_writer_emits_header_and_changes():
+    design = Ramp()
+    sim = Simulator(design)
+    output = io.StringIO()
+    with VCDWriter(sim, design, output, signals=[design.value, design.parity]):
+        sim.step(3)
+    text = output.getvalue()
+    assert "$timescale" in text
+    assert "$var wire 8" in text
+    assert "$var wire 1" in text
+    assert "value" in text and "parity" in text
+    assert "$enddefinitions" in text
+    # One timestamp marker per simulated cycle.
+    assert text.count("#") >= 3
+    # Multi-bit values are dumped in binary with a 'b' prefix.
+    assert "\nb" in text
+
+
+def test_vcd_writer_stops_after_close():
+    design = Ramp()
+    sim = Simulator(design)
+    output = io.StringIO()
+    writer = VCDWriter(sim, design, output, signals=[design.value])
+    sim.step(1)
+    size_before = len(output.getvalue())
+    writer.close()
+    sim.step(5)
+    assert len(output.getvalue()) == size_before

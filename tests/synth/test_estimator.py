@@ -1,0 +1,133 @@
+"""Tests for the structural resource estimator (the synthesis substitute)."""
+
+import pytest
+
+from repro.core import make_container, make_iterator
+from repro.designs import Saa2VgaCustomFIFO, build_saa2vga_pattern
+from repro.primitives import AsyncSRAM, SyncFIFO
+from repro.rtl import Component
+from repro.synth import (
+    ResourceEstimator,
+    Resources,
+    XC2S300E,
+    XSB300E,
+    estimate_design,
+)
+
+
+class TestTargetModel:
+    def test_device_capacities(self):
+        assert XC2S300E.total_brams == 16
+        assert XC2S300E.bram_bits == 4096
+        assert XSB300E.device is XC2S300E
+        assert XSB300E.external_capacity_bits() == 2 * 256 * 1024 * 16
+
+    def test_bram_blocks_for(self):
+        assert XC2S300E.bram_blocks_for(0) == 0
+        assert XC2S300E.bram_blocks_for(1) == 1
+        assert XC2S300E.bram_blocks_for(4096) == 1
+        assert XC2S300E.bram_blocks_for(4097) == 2
+
+    def test_fmax_decreases_with_depth_and_external_io(self):
+        fast = XC2S300E.fmax_mhz(3, uses_external_memory=False)
+        deep = XC2S300E.fmax_mhz(8, uses_external_memory=False)
+        external = XC2S300E.fmax_mhz(3, uses_external_memory=True)
+        assert deep < fast
+        assert external < fast
+        assert 80 <= fast <= 110  # around the paper's 98 MHz
+
+
+class TestResources:
+    def test_addition(self):
+        total = Resources(ffs=1, luts=2, brams=3) + Resources(ffs=10, luts=20,
+                                                              brams=30)
+        assert (total.ffs, total.luts, total.brams) == (11, 22, 33)
+
+    def test_total_luts_includes_distributed_ram(self):
+        assert Resources(luts=10, dist_ram_luts=5).total_luts == 15
+
+    def test_as_dict(self):
+        assert set(Resources().as_dict()) == {"ffs", "luts", "brams",
+                                              "external_bits"}
+
+
+class TestEstimationRules:
+    def test_register_bits_become_flip_flops(self):
+        comp = Component("c")
+        comp.state(8)
+        comp.state(3)
+        report = estimate_design(comp)
+        assert report.total.ffs == 11
+
+    def test_external_components_cost_nothing_on_chip(self):
+        sram = AsyncSRAM("sram", depth=1024, width=8)
+        report = estimate_design(sram)
+        assert report.total.ffs == 0
+        assert report.total.brams == 0
+        assert report.total.total_luts == 0
+        assert report.total.external_bits >= 1024 * 8
+        assert report.uses_external_memory
+
+    def test_large_memories_map_to_block_ram(self):
+        fifo = SyncFIFO("fifo", depth=512, width=8)  # 4096 bits
+        report = estimate_design(fifo)
+        assert report.total.brams == 1
+        assert report.total.ffs > 0
+
+    def test_small_memories_map_to_distributed_ram(self):
+        fifo = SyncFIFO("fifo", depth=16, width=8)  # 128 bits < threshold
+        report = estimate_design(fifo)
+        assert report.total.brams == 0
+        assert report.total.total_luts > report.total.luts - 1  # dist RAM charged
+
+    def test_transparent_wrappers_are_dissolved(self):
+        rb = make_container("read_buffer", "fifo", "rb", width=8, capacity=512)
+        iterator = make_iterator(rb, "forward", readable=True)
+        estimator = ResourceEstimator()
+        container_own = estimator.estimate_component(rb)
+        iterator_own = estimator.estimate_component(iterator)
+        assert container_own.resources.ffs == 0
+        assert container_own.resources.luts == 0
+        assert iterator_own.resources.ffs == 0
+        assert iterator_own.resources.luts == 0
+
+    def test_dissolution_can_be_disabled_for_the_ablation(self):
+        rb = make_container("read_buffer", "fifo", "rb", width=8, capacity=512)
+        with_dissolution = ResourceEstimator(dissolve_wrappers=True).estimate(rb)
+        without = ResourceEstimator(dissolve_wrappers=False).estimate(rb)
+        assert without.total.total_luts > with_dissolution.total.total_luts
+        assert without.total.ffs >= with_dissolution.total.ffs
+
+    def test_logic_cost_hint_is_charged(self):
+        comp = Component("datapath")
+        comp.logic_cost_luts = 50
+        report = estimate_design(comp)
+        assert report.total.total_luts >= 50
+
+    def test_report_row_and_breakdown(self):
+        design = build_saa2vga_pattern("fifo", capacity=512)
+        report = estimate_design(design)
+        row = report.row()
+        assert set(row) == {"design", "FFs", "LUTs", "blockRAM", "clk_MHz"}
+        assert row["blockRAM"] == 2  # one block RAM per 512x8 FIFO
+        breakdown = report.breakdown()
+        assert breakdown  # non-empty, sorted by contribution
+        assert breakdown[0]["LUTs"] + breakdown[0]["FFs"] >= \
+            breakdown[-1]["LUTs"] + breakdown[-1]["FFs"]
+        assert report.fits_device
+
+    def test_sram_design_uses_no_block_ram_and_lower_clock(self):
+        fifo_report = estimate_design(build_saa2vga_pattern("fifo", capacity=512))
+        sram_report = estimate_design(build_saa2vga_pattern("sram", capacity=512))
+        assert sram_report.total.brams == 0
+        assert fifo_report.total.brams == 2
+        assert sram_report.fmax_mhz < fifo_report.fmax_mhz
+        assert sram_report.uses_external_memory
+
+    def test_pattern_versus_custom_fifo_near_equal(self):
+        pattern = estimate_design(build_saa2vga_pattern("fifo", capacity=512))
+        custom = estimate_design(Saa2VgaCustomFIFO(capacity=512))
+        assert pattern.total.brams == custom.total.brams
+        assert abs(pattern.total.ffs - custom.total.ffs) <= 4
+        assert abs(pattern.total.total_luts - custom.total.total_luts) <= 8
+        assert pattern.fmax_mhz == custom.fmax_mhz

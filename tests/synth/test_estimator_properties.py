@@ -1,0 +1,91 @@
+"""Property-style tests of the resource estimator: monotonicity and consistency.
+
+The estimator substitutes for a synthesis tool, so its *relative* behaviour
+must be trustworthy: more storage can never cost less, external storage never
+consumes on-chip memory, dissolution never increases cost, and reports are
+deterministic for identical designs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import make_container
+from repro.designs import build_saa2vga_pattern
+from repro.primitives import SyncFIFO
+from repro.rtl import Component
+from repro.synth import ResourceEstimator, estimate_design
+
+
+@settings(max_examples=20, deadline=None)
+@given(depth_small=st.sampled_from([4, 8, 16, 32]),
+       factor=st.sampled_from([2, 4, 8]),
+       width=st.sampled_from([4, 8, 16]))
+def test_fifo_cost_is_monotonic_in_depth(depth_small, factor, width):
+    small = estimate_design(SyncFIFO("small", depth=depth_small, width=width))
+    large = estimate_design(SyncFIFO("large", depth=depth_small * factor,
+                                     width=width))
+    assert large.total.ffs >= small.total.ffs
+    assert (large.total.brams, large.total.total_luts) >= \
+        (small.total.brams, 0)
+    # Total storage (on-chip bits, however mapped) grows strictly.
+    small_bits = small.total.brams * 4096 + small.total.dist_ram_luts * 16
+    large_bits = large.total.brams * 4096 + large.total.dist_ram_luts * 16
+    assert large_bits > small_bits
+
+
+@settings(max_examples=15, deadline=None)
+@given(capacity=st.sampled_from([32, 64, 128, 256, 512]))
+def test_sram_binding_never_uses_block_ram(capacity):
+    container = make_container("read_buffer", "sram", "rb", width=8,
+                               capacity=capacity)
+    report = estimate_design(container)
+    assert report.total.brams == 0
+    assert report.total.external_bits >= capacity * 8
+    assert report.uses_external_memory
+
+
+@settings(max_examples=15, deadline=None)
+@given(capacity=st.sampled_from([16, 64, 256]),
+       width=st.sampled_from([4, 8, 16]))
+def test_estimation_is_deterministic(capacity, width):
+    def build():
+        return make_container("queue", "fifo", "q", width=width, capacity=capacity)
+
+    first = estimate_design(build()).total
+    second = estimate_design(build()).total
+    assert first.as_dict() == second.as_dict()
+
+
+def test_dissolution_never_increases_any_metric():
+    for binding in ("fifo", "sram"):
+        design = build_saa2vga_pattern(binding, capacity=256)
+        dissolved = ResourceEstimator(dissolve_wrappers=True).estimate(design)
+        kept = ResourceEstimator(
+            dissolve_wrappers=False).estimate(build_saa2vga_pattern(
+                binding, capacity=256))
+        assert dissolved.total.ffs <= kept.total.ffs
+        assert dissolved.total.total_luts <= kept.total.total_luts
+        assert dissolved.total.brams == kept.total.brams
+
+
+def test_whole_design_equals_sum_of_component_entries():
+    design = build_saa2vga_pattern("fifo", capacity=128)
+    report = estimate_design(design)
+    assert report.total.ffs == sum(e.resources.ffs for e in report.components)
+    assert report.total.total_luts == sum(e.resources.total_luts
+                                          for e in report.components)
+    assert report.total.brams == sum(e.resources.brams for e in report.components)
+
+
+def test_empty_component_costs_nothing():
+    report = estimate_design(Component("empty"))
+    assert report.total.as_dict() == {"ffs": 0, "luts": 0, "brams": 0,
+                                      "external_bits": 0}
+    assert not report.uses_external_memory
+
+
+def test_estimates_fit_the_target_device():
+    """Every evaluated design fits the XC2S300E, as it must have in the paper."""
+    for binding in ("fifo", "sram"):
+        report = estimate_design(build_saa2vga_pattern(binding, capacity=512))
+        assert report.fits_device

@@ -1,0 +1,101 @@
+"""Tests for report formatting (Table 3 style) and the design-space characterisation."""
+
+import pytest
+
+from repro.designs import Saa2VgaCustomFIFO, Saa2VgaCustomSRAM, build_saa2vga_pattern
+from repro.synth import (
+    DesignComparison,
+    characterize_buffer_binding,
+    characterize_design_space,
+    estimate_design,
+    estimate_power_mw,
+    format_table,
+    measure_stream_cycles_per_element,
+    overhead_summary,
+    pareto_front,
+    table3,
+)
+
+
+def comparison(label, binding, capacity=128):
+    pattern = estimate_design(build_saa2vga_pattern(binding, capacity=capacity))
+    custom_cls = Saa2VgaCustomFIFO if binding == "fifo" else Saa2VgaCustomSRAM
+    custom = estimate_design(custom_cls(capacity=capacity))
+    return DesignComparison(label, pattern, custom)
+
+
+class TestReport:
+    def test_cells_use_pattern_slash_custom_format(self):
+        cells = comparison("saa2vga 1", "fifo").cells()
+        assert set(cells) == {"Design", "FFs", "LUTs", "blockRAM", "clk MHz"}
+        assert "/" in cells["FFs"]
+        assert "/" in cells["clk MHz"]
+
+    def test_overhead_close_to_one_for_fifo_design(self):
+        overhead = comparison("saa2vga 1", "fifo").overhead()
+        for key in ("FFs", "LUTs", "blockRAM"):
+            assert overhead[key] == pytest.approx(1.0, rel=0.05)
+        assert overhead["clk_MHz"] == pytest.approx(1.0, rel=0.02)
+
+    def test_table3_renders_all_rows(self):
+        comparisons = [comparison("saa2vga 1", "fifo"),
+                       comparison("saa2vga 2", "sram")]
+        text = table3(comparisons)
+        assert "Table 3" in text
+        assert "saa2vga 1" in text and "saa2vga 2" in text
+        assert "blockRAM" in text
+
+    def test_overhead_summary_reports_worst_case(self):
+        comparisons = [comparison("saa2vga 1", "fifo"),
+                       comparison("saa2vga 2", "sram")]
+        worst = overhead_summary(comparisons)
+        assert worst["blockRAM"] == 1.0
+        assert worst["FFs"] < 1.2
+        assert worst["LUTs"] < 1.25
+
+    def test_format_table_alignment_and_empty(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title, header, separator, two rows
+        assert format_table([], title="T").startswith("T")
+
+
+class TestCharacterization:
+    def test_fifo_point_is_fast_and_uses_block_ram(self):
+        point = characterize_buffer_binding("fifo", capacity=512, elements=32)
+        assert point.cycles_per_element < 2.0
+        assert point.area.total.brams >= 1
+        assert point.power_mw > 0
+
+    def test_sram_point_is_small_but_slow(self):
+        fifo = characterize_buffer_binding("fifo", capacity=512, elements=32)
+        sram = characterize_buffer_binding("sram", capacity=512, elements=32)
+        assert sram.area.total.brams == 0
+        assert sram.cycles_per_element > fifo.cycles_per_element * 2
+        row = sram.row()
+        assert row["binding"] == "sram"
+        assert row["cycles/elem"] > 0
+
+    def test_measure_stream_cycles_per_element_fifo(self):
+        assert measure_stream_cycles_per_element("fifo", capacity=64,
+                                                 elements=32) < 2.0
+
+    def test_design_space_sweep_and_pareto(self):
+        points = characterize_design_space(capacities=(32, 512),
+                                           bindings=("fifo", "sram"),
+                                           elements=24)
+        assert len(points) == 4
+        front = pareto_front(points)
+        assert front
+        assert len(front) <= len(points)
+        bindings_on_front = {point.binding for point in front}
+        # Both ends of the trade-off (fast-and-big vs small-and-slow) survive.
+        assert "fifo" in bindings_on_front
+        assert "sram" in bindings_on_front
+
+    def test_power_proxy_scales_with_toggle_rate(self):
+        report = estimate_design(build_saa2vga_pattern("fifo", capacity=128))
+        assert estimate_power_mw(report, toggle_rate=0.5) == pytest.approx(
+            2 * estimate_power_mw(report, toggle_rate=0.25))

@@ -1,0 +1,101 @@
+"""Tests for the reusable test-bench drivers in :mod:`repro.testing`."""
+
+import pytest
+
+from repro.core import make_container, make_iterator
+from repro.rtl import Component, SimulationError, Simulator
+from repro.testing import (
+    iterator_read,
+    iterator_seek,
+    iterator_write,
+    settle_condition,
+    stream_drain,
+    stream_feed,
+    stream_feed_and_drain,
+)
+
+
+def buffer_fixture(binding="fifo", capacity=8):
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", binding, "rb", width=8,
+                                  capacity=capacity))
+    return top, rb, Simulator(top)
+
+
+def vector_fixture():
+    top = Component("top")
+    vec = top.child(make_container("vector", "bram", "vec", width=8, capacity=8))
+    it = top.child(make_iterator(vec, "random", readable=True, writable=True,
+                                 name="it"))
+    return top, vec, it, Simulator(top)
+
+
+def test_stream_feed_then_drain_separately():
+    _top, rb, sim = buffer_fixture()
+    cycles = stream_feed(sim, rb.fill, [1, 2, 3])
+    assert cycles >= 3
+    assert stream_drain(sim, rb.source, 3) == [1, 2, 3]
+
+
+def test_stream_feed_and_drain_round_trip():
+    _top, rb, sim = buffer_fixture()
+    data = list(range(20))
+    assert stream_feed_and_drain(sim, rb.fill, rb.source, data) == data
+
+
+def test_stream_drain_times_out_when_no_data():
+    _top, rb, sim = buffer_fixture()
+    with pytest.raises(SimulationError):
+        stream_drain(sim, rb.source, 1, max_cycles=20)
+
+
+def test_stream_feed_times_out_when_blocked():
+    _top, rb, sim = buffer_fixture(capacity=2)
+    with pytest.raises(SimulationError):
+        stream_feed(sim, rb.fill, [1, 2, 3, 4, 5], max_cycles=30)
+
+
+def test_stream_feed_and_drain_times_out_on_stall():
+    _top, rb, sim = buffer_fixture()
+    with pytest.raises(SimulationError):
+        # Ask for more elements than will ever be produced.
+        stream_feed_and_drain(sim, rb.fill, rb.source, [1, 2], expected=5,
+                              max_cycles=50)
+
+
+def test_iterator_helpers_round_trip():
+    _top, vec, it, sim = vector_fixture()
+    for value in (10, 20, 30):
+        iterator_write(sim, it.iface, value)
+    iterator_seek(sim, it.iface, 1)
+    assert iterator_read(sim, it.iface, advance=False) == 20
+    iterator_seek(sim, it.iface, 0)
+    assert [iterator_read(sim, it.iface) for _ in range(3)] == [10, 20, 30]
+
+
+def test_iterator_read_timeout_when_not_readable():
+    top = Component("top")
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=4))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    sim = Simulator(top)
+    with pytest.raises(SimulationError):
+        iterator_read(sim, wit.iface, max_cycles=10)
+
+
+def test_iterator_write_timeout_when_full():
+    top = Component("top")
+    wb = top.child(make_container("write_buffer", "fifo", "wb", width=8, capacity=2))
+    wit = top.child(make_iterator(wb, "forward", writable=True, name="wit"))
+    sim = Simulator(top)
+    iterator_write(sim, wit.iface, 1)
+    iterator_write(sim, wit.iface, 2)
+    with pytest.raises(SimulationError):
+        iterator_write(sim, wit.iface, 3, max_cycles=10)
+
+
+def test_settle_condition_returns_cycle_count():
+    _top, rb, sim = buffer_fixture()
+    stream_feed(sim, rb.fill, [7])
+    used = settle_condition(sim, lambda: rb.source.valid.value == 1, 100)
+    assert used >= 0
+    assert rb.source.data.value == 7

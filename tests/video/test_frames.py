@@ -1,0 +1,109 @@
+"""Tests for frame generation and the golden image operators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.video import (
+    checkerboard_frame,
+    flatten,
+    frame_dimensions,
+    frames_equal,
+    golden_blur3x3,
+    golden_copy,
+    golden_map,
+    golden_sum,
+    gradient_frame,
+    random_frame,
+    unflatten,
+)
+
+
+class TestGenerators:
+    def test_gradient_dimensions_and_range(self):
+        frame = gradient_frame(8, 6)
+        assert frame_dimensions(frame) == (8, 6)
+        values = flatten(frame)
+        assert min(values) == 0
+        assert max(values) == 255
+        # Monotone along each row.
+        for row in frame:
+            assert row == sorted(row)
+
+    def test_checkerboard_alternates(self):
+        frame = checkerboard_frame(8, 8, tile=2, low=0, high=255)
+        assert frame[0][0] == 0
+        assert frame[0][2] == 255
+        assert frame[2][0] == 255
+        assert frame[2][2] == 0
+
+    def test_random_frame_is_deterministic_per_seed(self):
+        assert random_frame(6, 4, seed=5) == random_frame(6, 4, seed=5)
+        assert random_frame(6, 4, seed=5) != random_frame(6, 4, seed=6)
+
+    def test_random_frame_respects_max_value(self):
+        frame = random_frame(10, 10, seed=1, max_value=15)
+        assert max(flatten(frame)) <= 15
+
+
+class TestReshaping:
+    def test_flatten_unflatten_roundtrip(self):
+        frame = random_frame(5, 3, seed=2)
+        assert unflatten(flatten(frame), 5) == frame
+
+    def test_unflatten_rejects_ragged_input(self):
+        with pytest.raises(ValueError):
+            unflatten([1, 2, 3], 2)
+        with pytest.raises(ValueError):
+            unflatten([1, 2, 3, 4], 0)
+
+    def test_frame_dimensions_rejects_ragged_frames(self):
+        with pytest.raises(ValueError):
+            frame_dimensions([[1, 2], [3]])
+        with pytest.raises(ValueError):
+            frame_dimensions([])
+
+
+class TestGoldenModels:
+    def test_copy_is_identity_and_a_fresh_object(self):
+        frame = random_frame(4, 4, seed=3)
+        out = golden_copy(frame)
+        assert frames_equal(out, frame)
+        out[0][0] ^= 0xFF
+        assert not frames_equal(out, frame)
+
+    def test_map_applies_function(self):
+        frame = [[1, 2], [3, 4]]
+        assert golden_map(frame, lambda p: p * 2) == [[2, 4], [6, 8]]
+
+    def test_sum(self):
+        assert golden_sum([[1, 2], [3, 4]]) == 10
+
+    def test_blur_uniform_frame_is_uniform(self):
+        frame = [[100] * 5 for _ in range(5)]
+        assert golden_blur3x3(frame) == [[100] * 3 for _ in range(3)]
+
+    def test_blur_output_geometry(self):
+        frame = random_frame(10, 7, seed=4)
+        blurred = golden_blur3x3(frame)
+        assert frame_dimensions(blurred) == (8, 5)
+
+    def test_blur_rejects_small_frames(self):
+        with pytest.raises(ValueError):
+            golden_blur3x3([[1, 2], [3, 4]])
+
+    def test_blur_known_value(self):
+        frame = [[0, 0, 0], [0, 90, 0], [0, 0, 0]]
+        assert golden_blur3x3(frame) == [[10]]
+
+
+@settings(max_examples=25, deadline=None)
+@given(width=st.integers(min_value=3, max_value=12),
+       height=st.integers(min_value=3, max_value=12),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_property_blur_output_bounded_by_input_range(width, height, seed):
+    frame = random_frame(width, height, seed=seed)
+    flat = flatten(frame)
+    low, high = min(flat), max(flat)
+    for row in golden_blur3x3(frame):
+        for pixel in row:
+            assert low - 1 <= pixel <= high

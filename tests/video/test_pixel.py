@@ -1,0 +1,69 @@
+"""Tests for pixel formats, packing and bus-width splitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.video import (
+    GRAY8,
+    RGB24,
+    RGB565,
+    gray_to_rgb24,
+    join_word,
+    rgb24_to_gray,
+    split_word,
+)
+
+
+class TestFormats:
+    def test_widths(self):
+        assert GRAY8.width == 8
+        assert RGB24.width == 24
+        assert RGB565.width == 16 or RGB565.width == 15  # 3 x 5-bit channels packed
+        assert RGB24.max_value == 0xFFFFFF
+
+    def test_pack_unpack_rgb24(self):
+        word = RGB24.pack((0x12, 0x34, 0x56))
+        assert word == 0x123456
+        assert RGB24.unpack(word) == (0x12, 0x34, 0x56)
+
+    def test_pack_masks_channel_overflow(self):
+        assert GRAY8.pack((0x1FF,)) == 0xFF
+
+    def test_pack_wrong_arity(self):
+        with pytest.raises(ValueError):
+            RGB24.pack((1, 2))
+
+    def test_gray_rgb_conversions(self):
+        assert gray_to_rgb24(0x80) == 0x808080
+        assert rgb24_to_gray(0x808080) == 0x80
+        assert rgb24_to_gray(RGB24.pack((30, 60, 90))) == 60
+
+
+class TestSplitting:
+    def test_split_word_24_over_8(self):
+        assert split_word(0xABCDEF, 24, 8) == [0xAB, 0xCD, 0xEF]
+
+    def test_join_word(self):
+        assert join_word([0xAB, 0xCD, 0xEF], 8) == 0xABCDEF
+
+    def test_split_requires_divisible_widths(self):
+        with pytest.raises(ValueError):
+            split_word(0, 24, 7)
+
+
+@given(r=st.integers(min_value=0, max_value=255),
+       g=st.integers(min_value=0, max_value=255),
+       b=st.integers(min_value=0, max_value=255))
+def test_property_rgb_pack_unpack_roundtrip(r, g, b):
+    assert RGB24.unpack(RGB24.pack((r, g, b))) == (r, g, b)
+
+
+@given(word=st.integers(min_value=0, max_value=0xFFFFFF),
+       bus=st.sampled_from([1, 2, 4, 8, 12, 24]))
+def test_property_split_join_roundtrip(word, bus):
+    assert join_word(split_word(word, 24, bus), bus) == word
+
+
+@given(gray=st.integers(min_value=0, max_value=255))
+def test_property_gray_roundtrip_through_rgb(gray):
+    assert rgb24_to_gray(gray_to_rgb24(gray)) == gray

@@ -1,0 +1,90 @@
+"""Tests for the synthetic video stream source and sink."""
+
+from repro.core import make_container
+from repro.rtl import Component, Simulator
+from repro.video import VideoStreamSink, VideoStreamSource, flatten, random_frame
+
+
+def build(frames=None, source_stall=0, sink_stall=0, capacity=8):
+    """Source -> read buffer -> (drain directly via its source iface) -> sink."""
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8,
+                                  capacity=capacity))
+    source = top.child(VideoStreamSource("src", rb.fill, frames=frames,
+                                         stall_period=source_stall))
+    sink = top.child(VideoStreamSink("snk", rb.source, stall_period=sink_stall))
+    return top, rb, source, sink, Simulator(top)
+
+
+def test_source_sends_all_pixels_in_raster_order():
+    frame = random_frame(6, 4, seed=1)
+    _top, _rb, source, sink, sim = build(frames=[frame])
+    sim.run_until(lambda: sink.count == 24, 2_000)
+    assert source.exhausted
+    assert sink.received == flatten(frame)
+    assert source.pixels_sent.value == 24
+    assert sink.pixels_received.value == 24
+
+
+def test_multiple_frames_are_sent_back_to_back():
+    frame_a = random_frame(4, 2, seed=2)
+    frame_b = random_frame(4, 2, seed=3)
+    _top, _rb, source, sink, sim = build(frames=[frame_a, frame_b])
+    sim.run_until(lambda: sink.count == 16, 2_000)
+    assert sink.received == flatten(frame_a) + flatten(frame_b)
+    assert source.total_pixels == 16
+
+
+def test_source_respects_backpressure():
+    frame = random_frame(8, 4, seed=4)
+    top = Component("top")
+    rb = top.child(make_container("read_buffer", "fifo", "rb", width=8, capacity=4))
+    source = top.child(VideoStreamSource("src", rb.fill, frames=[frame]))
+    sim = Simulator(top)
+    sim.step(200)
+    # Nothing drains the buffer, so the source must stop after filling it.
+    assert rb.occupancy == 4
+    assert not source.exhausted
+    assert source.pixels_sent.value == 4
+
+
+def test_source_stall_slows_the_stream_without_losing_pixels():
+    frame = random_frame(5, 3, seed=5)
+    _top, _rb, _source, sink, sim = build(frames=[frame], source_stall=3)
+    sim.run_until(lambda: sink.count == 15, 5_000)
+    assert sink.received == flatten(frame)
+    # With a stall of 3 the steady-state rate is one pixel per 4 cycles.
+    assert sim.cycles >= 14 * 4
+
+
+def test_sink_stall_applies_backpressure_without_losing_pixels():
+    frame = random_frame(5, 3, seed=6)
+    _top, _rb, _source, sink, sim = build(frames=[frame], sink_stall=2)
+    sim.run_until(lambda: sink.count == 15, 5_000)
+    assert sink.received == flatten(frame)
+    assert sim.cycles >= 14 * 3
+
+
+def test_sink_frame_reassembly_and_clear():
+    frame = random_frame(4, 3, seed=7)
+    _top, _rb, _source, sink, sim = build(frames=[frame])
+    sim.run_until(lambda: sink.count == 12, 2_000)
+    assert sink.frame(4, 3) == frame
+    sink.clear()
+    assert sink.count == 0
+
+
+def test_sink_frame_requires_enough_pixels():
+    import pytest
+
+    _top, _rb, _source, sink, _sim = build(frames=[random_frame(2, 2, seed=8)])
+    with pytest.raises(ValueError):
+        sink.frame(4, 4)
+
+
+def test_queue_pixels_and_queue_frame_extend_the_stream():
+    _top, _rb, source, sink, sim = build(frames=None)
+    source.queue_pixels([1, 2, 3])
+    source.queue_frame([[4, 5], [6, 7]])
+    sim.run_until(lambda: sink.count == 7, 2_000)
+    assert sink.received == [1, 2, 3, 4, 5, 6, 7]
