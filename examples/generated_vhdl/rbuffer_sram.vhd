@@ -1,0 +1,76 @@
+-- Generated read_buffer over sram (operations: empty, size, pop; protocol: strobe_done; element 8 bits over a 8-bit bus)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity rbuffer_sram is
+  port (
+    -- methods
+    m_empty : in std_logic;
+    m_size : in std_logic;
+    m_pop : in std_logic;
+    -- params
+    is_empty : out std_logic;
+    count : out std_logic_vector(15 downto 0);
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_addr : out std_logic_vector(15 downto 0);
+    p_data : in std_logic_vector(7 downto 0);
+    req : out std_logic;
+    ack : in std_logic
+  );
+end rbuffer_sram;
+
+architecture generated of rbuffer_sram is
+  constant DEPTH : natural := 65536;
+  signal head_ptr : unsigned(15 downto 0);
+  signal tail_ptr : unsigned(15 downto 0);
+  signal occupancy : unsigned(16 downto 0);
+  signal prefetch : std_logic_vector(7 downto 0);
+  signal prefetch_valid : std_logic := '0';
+  signal hold_valid : std_logic := '0';
+  signal state : state_t := st_idle;
+begin
+  -- circular buffer over external SRAM: begin/end pointer registers
+  -- plus an access FSM driving the req/ack handshake
+  ctrl: process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        head_ptr  <= (others => '0');
+        tail_ptr  <= (others => '0');
+        occupancy <= (others => '0');
+        state     <= st_idle;
+      else
+        case state is
+          when st_idle =>
+            if occupancy /= 0 and prefetch_valid = '0' then
+              p_addr <= std_logic_vector(head_ptr);
+              req    <= '1';
+              state  <= st_read;
+            end if;
+          when st_read =>
+            if ack = '1' then
+              prefetch       <= p_data;
+              prefetch_valid <= '1';
+              head_ptr       <= head_ptr + 1;
+              occupancy      <= occupancy - 1;
+              req            <= '0';
+              state          <= st_release;
+            end if;
+          when st_release =>
+            if ack = '0' then
+              state <= st_idle;
+            end if;
+          when others =>
+            state <= st_idle;
+        end case;
+      end if;
+    end if;
+  end process;
+  is_empty <= '1' when occupancy = 0 else '0';
+  count <= std_logic_vector(occupancy);
+  data <= prefetch;
+  done <= m_pop and prefetch_valid;
+end generated;

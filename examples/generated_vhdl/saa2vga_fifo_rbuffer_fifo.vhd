@@ -1,0 +1,29 @@
+-- Generated read_buffer over fifo (operations: empty, pop; protocol: valid_ready; element 8 bits over a 8-bit bus)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity saa2vga_fifo_rbuffer_fifo is
+  port (
+    -- methods
+    m_empty : in std_logic;
+    m_pop : in std_logic;
+    -- params
+    is_empty : out std_logic;
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_empty : in std_logic;
+    p_read : out std_logic;
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end saa2vga_fifo_rbuffer_fifo;
+
+architecture generated of saa2vga_fifo_rbuffer_fifo is
+begin
+  -- pure wrapper of the FIFO core: no extra logic
+  is_empty <= p_empty;
+  p_read <= m_pop;
+  data <= p_data;
+  done <= m_pop and not p_empty;
+end generated;

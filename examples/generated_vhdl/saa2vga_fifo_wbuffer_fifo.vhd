@@ -1,0 +1,29 @@
+-- Generated write_buffer over fifo (operations: full, push; protocol: valid_ready; element 8 bits over a 8-bit bus)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity saa2vga_fifo_wbuffer_fifo is
+  port (
+    -- methods
+    m_full : in std_logic;
+    m_push : in std_logic;
+    -- params
+    is_full : out std_logic;
+    data : in std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_full : in std_logic;
+    p_write : out std_logic;
+    p_data : out std_logic_vector(7 downto 0)
+  );
+end saa2vga_fifo_wbuffer_fifo;
+
+architecture generated of saa2vga_fifo_wbuffer_fifo is
+begin
+  -- pure wrapper of the FIFO core: no extra logic
+  is_full <= p_full;
+  p_write <= m_push;
+  p_data <= data_in;
+  done <= m_push and not p_full;
+end generated;

@@ -1,0 +1,29 @@
+-- Generated forward iterator over read_buffer (operations: inc, read)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity saa2vga_sram_rbuffer_it is
+  port (
+    -- iterator operations
+    m_inc : in std_logic;
+    m_read : in std_logic;
+    -- params
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- container interface
+    c_empty : out std_logic;
+    c_size : out std_logic;
+    c_pop : out std_logic;
+    c_data : in std_logic_vector(7 downto 0);
+    c_done : in std_logic
+  );
+end saa2vga_sram_rbuffer_it;
+
+architecture generated of saa2vga_sram_rbuffer_it is
+begin
+  -- iterator wrapper: renames operations onto the container
+  c_pop <= m_inc;
+  data <= c_data;
+  done <= c_done;
+end generated;

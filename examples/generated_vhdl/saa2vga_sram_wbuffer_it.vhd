@@ -1,0 +1,29 @@
+-- Generated forward iterator over write_buffer (operations: inc, write)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity saa2vga_sram_wbuffer_it is
+  port (
+    -- iterator operations
+    m_inc : in std_logic;
+    m_write : in std_logic;
+    -- params
+    data : in std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- container interface
+    c_full : out std_logic;
+    c_size : out std_logic;
+    c_push : out std_logic;
+    c_data : out std_logic_vector(7 downto 0);
+    c_done : in std_logic
+  );
+end saa2vga_sram_wbuffer_it;
+
+architecture generated of saa2vga_sram_wbuffer_it is
+begin
+  -- iterator wrapper: renames operations onto the container
+  c_push <= m_inc;
+  c_data <= data;
+  done <= c_done;
+end generated;

@@ -1,0 +1,70 @@
+-- Generated write_buffer over sram (operations: full, push; protocol: strobe_done; element 8 bits over a 8-bit bus)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity saa2vga_sram_wbuffer_sram is
+  port (
+    -- methods
+    m_full : in std_logic;
+    m_push : in std_logic;
+    -- params
+    is_full : out std_logic;
+    data : in std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_addr : out std_logic_vector(8 downto 0);
+    p_data : out std_logic_vector(7 downto 0);
+    req : out std_logic;
+    ack : in std_logic
+  );
+end saa2vga_sram_wbuffer_sram;
+
+architecture generated of saa2vga_sram_wbuffer_sram is
+  constant DEPTH : natural := 512;
+  signal head_ptr : unsigned(8 downto 0);
+  signal tail_ptr : unsigned(8 downto 0);
+  signal occupancy : unsigned(9 downto 0);
+  signal prefetch : std_logic_vector(7 downto 0);
+  signal prefetch_valid : std_logic := '0';
+  signal hold_valid : std_logic := '0';
+  signal state : state_t := st_idle;
+begin
+  -- circular buffer over external SRAM: begin/end pointer registers
+  -- plus an access FSM driving the req/ack handshake
+  ctrl: process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        head_ptr  <= (others => '0');
+        tail_ptr  <= (others => '0');
+        occupancy <= (others => '0');
+        state     <= st_idle;
+      else
+        case state is
+          when st_idle =>
+            if hold_valid = '1' and occupancy /= DEPTH then
+              p_addr <= std_logic_vector(tail_ptr);
+              req    <= '1';
+              state  <= st_write;
+            end if;
+          when st_write =>
+            if ack = '1' then
+              tail_ptr  <= tail_ptr + 1;
+              occupancy <= occupancy + 1;
+              req       <= '0';
+              state     <= st_release;
+            end if;
+          when st_release =>
+            if ack = '0' then
+              state <= st_idle;
+            end if;
+          when others =>
+            state <= st_idle;
+        end case;
+      end if;
+    end if;
+  end process;
+  is_full <= '1' when occupancy = DEPTH else '0';
+  done <= m_push and not is_full;
+end generated;
