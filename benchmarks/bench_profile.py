@@ -1,0 +1,31 @@
+"""Benchmark sizing profile: full (default) or quick smoke mode.
+
+Quick mode shrinks frames, capacities and sweep ranges so the whole
+``benchmarks/`` directory runs in seconds — suitable for CI smoke coverage
+on every push, while the full profile stays the reproduction-grade default.
+
+Activate quick mode either way:
+
+* ``pytest benchmarks --quick``
+* ``REPRO_BENCH_QUICK=1 pytest benchmarks``
+
+(The ``--quick`` flag, defined in ``benchmarks/conftest.py``, simply sets
+the environment variable before test modules are imported, so module-level
+sizing constants see it.)
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VAR = "REPRO_BENCH_QUICK"
+
+
+def quick_mode() -> bool:
+    """True when the smoke profile is active."""
+    return os.environ.get(ENV_VAR, "").strip() not in ("", "0", "false", "no")
+
+
+def scaled(full, quick):
+    """Pick the full- or quick-profile value for a sizing constant."""
+    return quick if quick_mode() else full

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+The ``--quick`` flag itself is registered in the repo-root ``conftest.py``
+(pytest only honours ``addoption`` from initial conftests); this one just
+surfaces which sizing profile the benchmarks are running under.
+"""
+
+import bench_profile
+
+
+def pytest_report_header(config):
+    profile = "quick (smoke)" if bench_profile.quick_mode() else "full"
+    return f"repro benchmark profile: {profile}"

@@ -13,6 +13,7 @@ resources, both on the Pareto front at every capacity.
 
 import pytest
 
+from bench_profile import scaled
 from repro.synth import (
     characterize_buffer_binding,
     characterize_design_space,
@@ -21,7 +22,7 @@ from repro.synth import (
     pareto_front,
 )
 
-CAPACITIES = (64, 256, 512)
+CAPACITIES = scaled((64, 256, 512), (64, 256))
 
 
 def sweep():

@@ -41,6 +41,8 @@ PAPER_TABLE3 = {
 }
 
 # Synthesis-sized instances (buffer capacity / line width as in a QVGA system).
+# These are never shrunk in quick mode: the Table 3 assertions compare against
+# the paper's absolute block-RAM counts for QVGA-sized buffers.
 SYNTH_CAPACITY = 512
 SYNTH_LINE_WIDTH = 320
 

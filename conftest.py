@@ -1,0 +1,22 @@
+"""Repo-root pytest configuration: the ``--quick`` benchmark smoke flag.
+
+The flag lives here (not in ``benchmarks/conftest.py``) because pytest only
+registers options from *initial* conftests — a bare ``pytest --quick`` from
+the repo root would otherwise be rejected.  It is translated into the
+``REPRO_BENCH_QUICK`` environment variable at configure time, before
+benchmark modules (whose sizing constants are module-level) are imported;
+see ``benchmarks/bench_profile.py``.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="run the benchmarks in quick smoke mode (small frames/sweeps)")
+
+
+def pytest_configure(config):
+    if config.getoption("--quick"):
+        os.environ["REPRO_BENCH_QUICK"] = "1"

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..rtl import Component, SimulationError, Simulator
+from ..rtl import EVENT, Component, SimulationError, Simulator
 from ..video import Frame, VideoStreamSink, VideoStreamSource
 
 
@@ -50,14 +50,16 @@ class VideoSystem(Component):
     # -- simulation helpers ----------------------------------------------------------
 
     def simulate(self, expected_outputs: int, max_cycles: int = 2_000_000,
-                 simulator: Optional[Simulator] = None) -> Simulator:
+                 simulator: Optional[Simulator] = None,
+                 strategy: str = EVENT) -> Simulator:
         """Run until ``expected_outputs`` pixels have reached the sink.
 
         Returns the simulator so callers can inspect cycle counts.  Raises
         :class:`SimulationError` if the pipeline stalls before producing the
-        expected number of pixels.
+        expected number of pixels.  ``strategy`` selects the settle engine
+        (ignored when an existing ``simulator`` is passed in).
         """
-        sim = simulator or Simulator(self)
+        sim = simulator or Simulator(self, strategy=strategy)
         sim.run_until(lambda: self.sink.count >= expected_outputs, max_cycles)
         return sim
 
@@ -73,18 +75,21 @@ class VideoSystem(Component):
 def run_stream_through(design: Component, frame: Frame,
                        expected_outputs: Optional[int] = None,
                        max_cycles: int = 2_000_000,
-                       source_stall: int = 0, sink_stall: int = 0) -> dict:
+                       source_stall: int = 0, sink_stall: int = 0,
+                       strategy: str = EVENT) -> dict:
     """Convenience one-shot: push ``frame`` through ``design`` and collect results.
 
     Returns a dict with the received pixels, the cycle count and the achieved
     throughput (pixels per cycle), which the performance benches report.
+    ``strategy`` selects the simulator's settle engine.
     """
     total_inputs = sum(len(row) for row in frame)
     if expected_outputs is None:
         expected_outputs = total_inputs
     system = VideoSystem(design, frames=[frame], source_stall=source_stall,
                          sink_stall=sink_stall)
-    sim = system.simulate(expected_outputs, max_cycles=max_cycles)
+    sim = system.simulate(expected_outputs, max_cycles=max_cycles,
+                          strategy=strategy)
     pixels = system.received_pixels()
     return {
         "pixels": pixels,

@@ -1,0 +1,38 @@
+"""Batched design-space exploration.
+
+The paper's central promise is that a container/iterator/algorithm library
+makes it cheap to *explore* many hardware design points ("it is feasible to
+generate versions of each one for every physical target and range of
+configuration parameters").  This subsystem industrialises that step: a grid
+of (design x container binding x pixel format x frame size x capacity)
+points is expanded, every point is simulated and characterised through the
+event-driven simulator, results are memoized by design hash so repeated
+points are free, and a comparison report is emitted with the same table
+formatter the Table-3 reproduction uses.
+
+Typical use::
+
+    from repro.explore import ExplorationRunner, expand_grid
+
+    points = expand_grid(designs=("saa2vga",), bindings=("fifo", "sram"),
+                         capacities=(16, 32))
+    runner = ExplorationRunner()
+    results = runner.run(points)
+    print(comparison_report(results))
+"""
+
+from .grid import DesignPoint, expand_grid, is_valid_point
+from .report import best_by, comparison_report, results_table
+from .runner import ExplorationResult, ExplorationRunner, evaluate_point
+
+__all__ = [
+    "DesignPoint",
+    "expand_grid",
+    "is_valid_point",
+    "ExplorationResult",
+    "ExplorationRunner",
+    "evaluate_point",
+    "comparison_report",
+    "results_table",
+    "best_by",
+]

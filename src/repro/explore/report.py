@@ -1,0 +1,43 @@
+"""Comparison reports over exploration results.
+
+Reuses :func:`repro.synth.report.format_table` — the same formatter that
+renders the Table-3 reproduction — so sweep reports and paper tables share
+one look.  Rows are emitted in sorted point order regardless of the order
+points were evaluated in, making reports byte-stable across runs, cache
+states and process pools.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..synth import format_table
+from .runner import ExplorationResult
+
+
+def results_table(results: Sequence[ExplorationResult]) -> List[dict]:
+    """Result rows in deterministic (sorted-by-point) order."""
+    ordered = sorted(results, key=lambda res: res.point)
+    return [res.row() for res in ordered]
+
+
+def comparison_report(results: Sequence[ExplorationResult],
+                      title: str = "Design-space exploration.") -> str:
+    """Render a sweep as an aligned plain-text comparison table."""
+    return format_table(results_table(results), title=title)
+
+
+def best_by(results: Sequence[ExplorationResult],
+            metric: Callable[[ExplorationResult], float],
+            lowest: bool = True) -> ExplorationResult:
+    """The verified result minimising (default) or maximising ``metric``.
+
+    Ties break on the point's sorted order, keeping selection deterministic.
+    """
+    verified = [res for res in results if res.verified]
+    if not verified:
+        raise ValueError("no verified results to choose from")
+    ordered = sorted(verified, key=lambda res: res.point)
+    if lowest:
+        return min(ordered, key=metric)
+    return max(ordered, key=metric)

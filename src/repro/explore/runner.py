@@ -1,0 +1,176 @@
+"""Batched execution of design-space grids.
+
+:func:`evaluate_point` builds, simulates and characterises one
+:class:`~repro.explore.grid.DesignPoint`; :class:`ExplorationRunner` maps it
+over a whole grid, memoizing results by design hash (a repeated point is
+never re-simulated) and optionally fanning the uncached points out over a
+``multiprocessing`` pool.  Every result carries the measured streaming
+throughput, the estimated FPGA resources and a functional-verification
+verdict against the golden model, so a sweep doubles as a regression net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..designs import (
+    BlurPatternDesign,
+    Saa2VgaPatternDesign,
+    run_stream_through,
+)
+from ..rtl import EVENT, Component
+from ..synth import estimate_design, estimate_power_mw
+from ..video import GRAY8, RGB24, RGB565, flatten, golden_blur3x3, random_frame
+
+PIXEL_FORMATS = {fmt.name: fmt for fmt in (GRAY8, RGB24, RGB565)}
+
+
+def build_design(point) -> Component:
+    """Instantiate the design a point describes (fresh, unshared hierarchy)."""
+    fmt = PIXEL_FORMATS[point.pixel_format]
+    if point.design == "saa2vga":
+        return Saa2VgaPatternDesign(
+            name=f"saa2vga_{point.design_hash()}", binding=point.binding,
+            width=fmt.width, capacity=point.capacity)
+    if point.design == "blur":
+        return BlurPatternDesign(
+            name=f"blur_{point.design_hash()}", line_width=point.frame_width,
+            width=fmt.width, out_capacity=point.capacity)
+    raise ValueError(f"unknown design {point.design!r}")
+
+
+def stimulus_frame(point):
+    """Deterministic stimulus for a point (seeded from its design hash)."""
+    fmt = PIXEL_FORMATS[point.pixel_format]
+    seed = int(point.design_hash()[:8], 16)
+    return random_frame(point.frame_width, point.frame_height, seed=seed,
+                        max_value=fmt.max_value)
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Characterisation of one simulated design point."""
+
+    point: "DesignPoint"
+    cycles: int
+    outputs: int
+    throughput: float
+    ffs: int
+    luts: int
+    brams: int
+    fmax_mhz: float
+    power_mw: float
+    verified: bool
+
+    def row(self) -> Dict[str, object]:
+        """One report-table row (stable column order)."""
+        return {
+            "design": self.point.design,
+            "binding": self.point.binding,
+            "format": self.point.pixel_format,
+            "frame": f"{self.point.frame_width}x{self.point.frame_height}",
+            "capacity": self.point.capacity,
+            "cycles": self.cycles,
+            "pix/cycle": round(self.throughput, 3),
+            "FFs": self.ffs,
+            "LUTs": self.luts,
+            "blockRAM": self.brams,
+            "clk_MHz": round(self.fmax_mhz, 1),
+            "power_mW": round(self.power_mw, 1),
+            "ok": "yes" if self.verified else "NO",
+        }
+
+
+def evaluate_point(point, strategy: str = EVENT,
+                   max_cycles: int = 2_000_000) -> ExplorationResult:
+    """Build, simulate, verify and characterise one design point.
+
+    A module-level function so a ``multiprocessing`` pool can pickle it.
+    """
+    frame = stimulus_frame(point)
+    if point.design == "blur":
+        golden = flatten(golden_blur3x3(frame))
+    else:
+        golden = flatten(frame)
+    design = build_design(point)
+    result = run_stream_through(design, frame, expected_outputs=len(golden),
+                                max_cycles=max_cycles, strategy=strategy)
+    area = estimate_design(design)
+    return ExplorationResult(
+        point=point,
+        cycles=result["cycles"],
+        outputs=result["outputs"],
+        throughput=result["outputs"] / max(1, result["cycles"]),
+        ffs=area.total.ffs,
+        luts=area.total.total_luts,
+        brams=area.total.brams,
+        fmax_mhz=area.fmax_mhz,
+        power_mw=estimate_power_mw(area),
+        verified=result["pixels"] == golden,
+    )
+
+
+class ExplorationRunner:
+    """Run grids of design points with memoization and optional parallelism.
+
+    Parameters
+    ----------
+    strategy:
+        Settle strategy handed to every simulation (default: event-driven).
+    processes:
+        ``None`` (default) runs points serially in-process; an integer > 1
+        fans uncached points out over a ``multiprocessing.Pool`` of that
+        size.  Memoization works identically either way — results are cached
+        in the parent by design hash.
+    max_cycles:
+        Per-point simulation budget.
+    """
+
+    def __init__(self, strategy: str = EVENT, processes: Optional[int] = None,
+                 max_cycles: int = 2_000_000) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.strategy = strategy
+        self.processes = processes
+        self.max_cycles = max_cycles
+        self._cache: Dict[Tuple, ExplorationResult] = {}
+        #: Number of points served from the memo across all ``run`` calls.
+        self.cache_hits = 0
+        #: Number of points actually simulated across all ``run`` calls.
+        self.evaluations = 0
+
+    def run(self, points: Sequence) -> List[ExplorationResult]:
+        """Evaluate every point, returning results in the points' order.
+
+        Duplicate points (by design hash) and points seen in earlier ``run``
+        calls are served from the memo without re-simulation.
+        """
+        cache = self._cache
+        todo = []
+        seen = set()
+        for point in points:
+            key = point.key()
+            if key not in cache and key not in seen:
+                seen.add(key)
+                todo.append(point)
+        self.cache_hits += len(points) - len(todo)
+        self.evaluations += len(todo)
+        if todo:
+            if self.processes is not None and self.processes > 1:
+                fresh = self._run_pool(todo)
+            else:
+                fresh = [evaluate_point(point, strategy=self.strategy,
+                                        max_cycles=self.max_cycles)
+                         for point in todo]
+            for point, result in zip(todo, fresh):
+                cache[point.key()] = result
+        return [cache[point.key()] for point in points]
+
+    def _run_pool(self, points: Sequence) -> List[ExplorationResult]:
+        import multiprocessing
+
+        with multiprocessing.Pool(self.processes) as pool:
+            return pool.starmap(
+                evaluate_point,
+                [(point, self.strategy, self.max_cycles) for point in points])

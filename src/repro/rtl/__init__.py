@@ -19,7 +19,7 @@ from .errors import (
 )
 from .fsm import FSM
 from .signal import REG, WIRE, Signal, SignalBundle, register, wire
-from .simulator import Simulator, pulse
+from .simulator import EVENT, FIXPOINT, STRATEGIES, Simulator, pulse
 from .trace import Recorder, VCDWriter
 
 __all__ = [
@@ -37,6 +37,9 @@ __all__ = [
     "REG",
     "WIRE",
     "Simulator",
+    "EVENT",
+    "FIXPOINT",
+    "STRATEGIES",
     "pulse",
     "Recorder",
     "VCDWriter",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional
 
+from . import signal as _signal_state
 from .errors import ElaborationError
 from .signal import REG, WIRE, Signal
 
@@ -47,15 +48,24 @@ class Memory:
         self._data = [int(v) & self._mask for v in contents]
         self._data += [0] * (depth - len(self._data))
         self._init = list(self._data)
+        #: Scheduler notified on writes (event-driven simulation).  Sensitivity
+        #: is whole-memory: any write wakes every process that read the array.
+        self._sched = None
 
     def __len__(self) -> int:
         return self.depth
 
     def __getitem__(self, addr: int) -> int:
+        reads = _signal_state._active_reads
+        if reads is not None:
+            reads.add(self)
         return self._data[int(addr) % self.depth]
 
     def __setitem__(self, addr: int, value: int) -> None:
         self._data[int(addr) % self.depth] = int(value) & self._mask
+        sched = self._sched
+        if sched is not None:
+            sched.notify_memory(self)
 
     def load(self, values: List[int], offset: int = 0) -> None:
         """Bulk-load ``values`` starting at ``offset`` (wrapping disallowed)."""
@@ -73,6 +83,9 @@ class Memory:
     def reset(self) -> None:
         """Restore initial contents."""
         self._data = list(self._init)
+        sched = self._sched
+        if sched is not None:
+            sched.notify_memory(self)
 
     @property
     def bits(self) -> int:
@@ -203,8 +216,32 @@ class Component:
 
     # -- processes ----------------------------------------------------------------
 
-    def comb(self, func: Process) -> Process:
-        """Register (or decorate) a combinational process."""
+    def comb(self, func: Optional[Process] = None, *,
+             sensitivity: Optional[list] = None) -> Process:
+        """Register (or decorate) a combinational process.
+
+        ``sensitivity`` optionally declares the process's input set (signals
+        and/or memories) up front, like a VHDL sensitivity list.  The
+        event-driven scheduler then wakes the process on exactly those
+        objects and skips read-tracing it; the declared set must therefore
+        cover **everything** the process ever reads — an omission means
+        missed wake-ups.  Without it (the common case) the scheduler infers
+        the set automatically by tracing reads on every evaluation.
+
+        Both decorator forms work::
+
+            @self.comb
+            def wires(): ...
+
+            @self.comb(sensitivity=[self.a, self.b])
+            def wires(): ...
+        """
+        if func is None:
+            def wrap(inner: Process) -> Process:
+                return self.comb(inner, sensitivity=sensitivity)
+            return wrap
+        if sensitivity is not None:
+            func.sensitivity = tuple(sensitivity)
         self._comb_procs.append(func)
         return func
 

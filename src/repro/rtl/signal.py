@@ -28,6 +28,14 @@ REG = "reg"
 
 _signal_ids = itertools.count()
 
+#: Read-trace hook used by the event-driven scheduler.  While a combinational
+#: process is being evaluated the scheduler installs a set here; every
+#: :attr:`Signal.value` read (and every :class:`~.component.Memory` indexed
+#: read) records itself into it, yielding the process's dynamic sensitivity
+#: list.  ``None`` outside traced evaluations, so the fixpoint strategy and
+#: test benches pay only a None-check per read.
+_active_reads: Optional[set] = None
+
 
 class Signal:
     """A fixed-width signal with deferred (two-phase) assignment.
@@ -44,7 +52,8 @@ class Signal:
         ``WIRE`` for combinationally-driven nets, ``REG`` for clocked state.
     """
 
-    __slots__ = ("width", "name", "kind", "init", "_value", "_next", "_uid")
+    __slots__ = ("width", "name", "kind", "init", "_value", "_next", "_uid",
+                 "_mask", "_sched")
 
     def __init__(self, width: int = 1, init: int = 0,
                  name: str = "", kind: str = WIRE) -> None:
@@ -55,16 +64,21 @@ class Signal:
         self.width = int(width)
         self.name = name or f"sig{next(_signal_ids)}"
         self.kind = kind
-        self.init = int(init) & mask(self.width)
+        self._mask = mask(self.width)
+        self.init = int(init) & self._mask
         self._value = self.init
         self._next = self.init
         self._uid = next(_signal_ids)
+        #: Scheduler this signal notifies on writes (event-driven simulation).
+        self._sched = None
 
     # -- value access -------------------------------------------------------
 
     @property
     def value(self) -> int:
         """The committed value (what other processes observe this cycle)."""
+        if _active_reads is not None:
+            _active_reads.add(self)
         return self._value
 
     @property
@@ -79,7 +93,10 @@ class Signal:
 
     @next.setter
     def next(self, value) -> None:
-        self._next = int(value) & mask(self.width)
+        self._next = int(value) & self._mask
+        sched = self._sched
+        if sched is not None:
+            sched._written.append(self)
 
     def drive(self, value) -> None:
         """Alias for assigning :attr:`next`; reads better in some processes."""
@@ -95,8 +112,12 @@ class Signal:
 
     def reset(self) -> None:
         """Restore the initial value (both committed and pending)."""
+        changed = self._value != self.init or self._next != self.init
         self._value = self.init
         self._next = self.init
+        sched = self._sched
+        if changed and sched is not None:
+            sched.notify_changed(self)
 
     def force(self, value) -> None:
         """Set both committed and pending value immediately.
@@ -104,9 +125,14 @@ class Signal:
         Intended for test benches that need to poke a value outside the
         normal two-phase update discipline.
         """
-        value = int(value) & mask(self.width)
+        value = int(value) & self._mask
+        if value == self._value and value == self._next:
+            return
         self._value = value
         self._next = value
+        sched = self._sched
+        if sched is not None:
+            sched.notify_changed(self)
 
     # -- conversions ----------------------------------------------------------
 

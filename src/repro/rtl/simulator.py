@@ -1,30 +1,57 @@
-"""Two-phase cycle-accurate simulator.
+"""Cycle-accurate simulator with event-driven and fixpoint settle strategies.
 
 Every synchronous design in the reproduced paper is a collection of clocked
 FSMs and memories connected by combinational glue.  The simulator therefore
 uses a two-phase evaluation per clock cycle:
 
-1. **Settle**: all combinational processes are evaluated repeatedly, with
-   pending signal values committed after each pass, until no signal changes
-   (a fixed point).  Exceeding ``max_settle`` iterations raises
+1. **Settle**: combinational processes are evaluated, with pending signal
+   values committed at delta boundaries, until no signal changes (a fixed
+   point).  Exceeding ``max_settle`` delta iterations raises
    :class:`CombinationalLoopError`.
 2. **Clock edge**: all sequential processes run exactly once, observing the
    settled values; their pending assignments are then committed, followed by
    another settle phase so outputs reflect the new state within the same
    reported cycle boundary.
 
-This is the classic "evaluate/update" discipline of cycle-based simulators
-(PyMTL CL, Verilator's eval loop) and is sufficient for the FSM + memory
-designs of the paper, while remaining easy to reason about and to test.
+Two settle strategies implement that contract:
+
+``strategy="event"`` (the default)
+    Sensitivity-based event-driven scheduling, the levelized/event-driven
+    discipline of Verilator-class simulators.  Each combinational process's
+    input set is inferred dynamically by tracing the :class:`Signal` values
+    and :class:`Memory` words it actually reads during evaluation; commits
+    then wake only the processes sensitive to the signals that changed.  The
+    sensitivity list is refreshed on *every* evaluation, which makes the
+    scheme exact rather than approximate: a process's outputs are a function
+    only of the values it read last time, so if none of those changed,
+    re-evaluating it cannot produce different results.  (This is the dynamic
+    sensitivity of SystemC/VHDL processes, not a static over-approximation.)
+
+``strategy="fixpoint"``
+    The classic evaluate-everything discipline: all combinational processes
+    are re-evaluated each delta iteration until no signal changes.  Kept as a
+    fallback and as a differential-testing oracle — both strategies must
+    produce cycle-identical traces on every design
+    (``tests/rtl/test_strategy_equivalence.py``).
+
+Both strategies observe identical two-phase semantics: processes read
+committed values and write pending ones, so evaluation order within a delta
+iteration is immaterial and the two engines agree cycle-for-cycle.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
-from .component import Component
+from . import signal as _signal_state
+from .component import Component, Memory
 from .errors import CombinationalLoopError, SimulationError
 from .signal import Signal
+
+#: Settle-strategy names accepted by :class:`Simulator`.
+EVENT = "event"
+FIXPOINT = "fixpoint"
+STRATEGIES = (EVENT, FIXPOINT)
 
 
 class Simulator:
@@ -40,20 +67,94 @@ class Simulator:
         Maximum number of combinational delta iterations per settle phase.
     max_cycles:
         A global safety limit for :meth:`run_until`.
+    strategy:
+        ``"event"`` (default) for sensitivity-based event-driven settling or
+        ``"fixpoint"`` for the evaluate-everything oracle.
     """
 
     def __init__(self, top: Component, max_settle: int = 64,
-                 max_cycles: int = 10_000_000) -> None:
+                 max_cycles: int = 10_000_000, strategy: str = EVENT) -> None:
+        if strategy not in STRATEGIES:
+            raise SimulationError(
+                f"unknown settle strategy {strategy!r}; expected one of "
+                f"{STRATEGIES}")
         self.top = top
         self.max_settle = max_settle
         self.max_cycles = max_cycles
+        self._strategy = strategy
         self._comb = top.all_comb_procs()
         self._seq = top.all_seq_procs()
         self._signals = top.all_signals()
+        self._memories = top.all_memories()
         self._cycles = 0
         self._watchers: List[Callable[[int], None]] = []
+        self._watcher_resets: List[Callable[[], None]] = []
+        if strategy == EVENT:
+            # Deterministic evaluation order within a delta wave: processes
+            # run in registration order, matching the fixpoint strategy.
+            self._proc_index = {proc: i for i, proc in enumerate(self._comb)}
+            self._proc_reads: Dict[Callable, Set] = {}
+            self._fanout: Dict[object, Set[Callable]] = {}
+            self._written: List[Signal] = []
+            self._pending: Set[Callable] = set(self._comb)
+            # Processes with a declared sensitivity list (``Component.comb``'s
+            # ``sensitivity=`` argument) get static fanout entries and are
+            # evaluated without read-tracing.
+            self._static_procs: Set[Callable] = set()
+            for proc in self._comb:
+                declared = getattr(proc, "sensitivity", None)
+                if declared is not None:
+                    self._static_procs.add(proc)
+                    for obj in declared:
+                        procs = self._fanout.get(obj)
+                        if procs is None:
+                            self._fanout[obj] = procs = set()
+                        procs.add(proc)
+            self._invalidate_previous()
+            for sig in self._signals:
+                sig._sched = self
+                # Writes made before the simulator existed (legal two-phase
+                # pokes) predate the notification hooks; queue them so the
+                # initial settle commits them exactly like the fixpoint
+                # strategy's commit-everything pass would.
+                if sig._next != sig._value:
+                    self._written.append(sig)
+            for mem in self._memories:
+                mem._sched = self
+        else:
+            # Detach any scheduler a previous event-driven simulator left on
+            # this hierarchy, so writes stop feeding its stale queues.
+            self._invalidate_previous()
+            for sig in self._signals:
+                sig._sched = None
+            for mem in self._memories:
+                mem._sched = None
+        #: False once another simulator has attached to the same hierarchy;
+        #: an event-driven simulator without its notification hooks would
+        #: silently return stale values, so stale use raises instead.
+        self._attached = True
         # Initial settle so combinational outputs are valid before cycle 0.
         self._settle()
+
+    def _invalidate_previous(self) -> None:
+        """Mark any simulator currently hooked to these signals as stale.
+
+        Only event-driven simulators depend on the per-signal hooks, so only
+        they are invalidated; a fixpoint simulator over the same hierarchy
+        keeps working regardless of who is attached.
+        """
+        previous = {sig._sched for sig in self._signals}
+        previous.update(mem._sched for mem in self._memories)
+        for sched in previous:
+            if sched is not None and sched is not self:
+                sched._attached = False
+
+    def _check_attached(self) -> None:
+        if not self._attached:
+            raise SimulationError(
+                "this event-driven simulator was detached: another Simulator "
+                "was constructed over the same component hierarchy; build a "
+                "new simulator (or keep one per hierarchy)")
 
     # -- properties -------------------------------------------------------------
 
@@ -62,12 +163,48 @@ class Simulator:
         """Number of clock cycles executed so far."""
         return self._cycles
 
-    def add_watcher(self, func: Callable[[int], None]) -> None:
+    @property
+    def strategy(self) -> str:
+        """The settle strategy this simulator was built with."""
+        return self._strategy
+
+    def add_watcher(self, func: Callable[[int], None],
+                    on_reset: Optional[Callable[[], None]] = None) -> None:
         """Register a callable invoked after every cycle with the cycle index.
 
-        Used by tracers and test benches to sample signals.
+        Used by tracers and test benches to sample signals.  ``on_reset``
+        optionally registers a hook :meth:`reset` calls to clear the
+        watcher's recorded state; when omitted and ``func`` is a bound
+        method whose instance exposes ``on_reset()``, that method is
+        registered automatically (how :class:`~.trace.Recorder` and
+        :class:`~.trace.VCDWriter` hook in).  Wrapped watchers
+        (``functools.partial``, lambdas) that keep state must pass
+        ``on_reset`` explicitly — introspection cannot find their owner.
         """
         self._watchers.append(func)
+        if on_reset is None:
+            owner = getattr(func, "__self__", None)
+            on_reset = getattr(owner, "on_reset", None) if owner is not None else None
+        if on_reset is not None:
+            self._watcher_resets.append(on_reset)
+
+    # -- scheduler notifications (event strategy) --------------------------------
+
+    def notify_changed(self, sig: Signal) -> None:
+        """A signal's committed value changed outside the commit discipline.
+
+        Called by :meth:`Signal.force` and :meth:`Signal.reset` so test-bench
+        pokes wake the processes that depend on the signal.
+        """
+        procs = self._fanout.get(sig)
+        if procs:
+            self._pending.update(procs)
+
+    def notify_memory(self, mem: Memory) -> None:
+        """A memory word was written; wake every process that read the array."""
+        procs = self._fanout.get(mem)
+        if procs:
+            self._pending.update(procs)
 
     # -- core evaluation ----------------------------------------------------------
 
@@ -78,11 +215,8 @@ class Simulator:
                 changed = True
         return changed
 
-    def _settle(self) -> int:
-        """Run combinational processes to a fixed point.
-
-        Returns the number of delta iterations used.
-        """
+    def _settle_fixpoint(self) -> int:
+        """Run every combinational process to a fixed point (oracle strategy)."""
         for iteration in range(1, self.max_settle + 1):
             for proc in self._comb:
                 proc()
@@ -92,16 +226,116 @@ class Simulator:
             f"combinational network did not settle after {self.max_settle} "
             f"iterations (cycle {self._cycles})")
 
+    def _evaluate_traced(self, proc: Callable[[], None]) -> None:
+        """Evaluate ``proc`` recording every Signal/Memory it reads.
+
+        The recorded set *replaces* the process's previous sensitivity list:
+        dynamic last-read sensitivity is exact for deterministic processes,
+        and refreshing it every evaluation means branch changes (a newly
+        taken path reading new signals) are always discovered — the branch
+        condition itself was read last time, so its change re-triggers the
+        process.
+        """
+        reads: Set = set()
+        _signal_state._active_reads = reads
+        try:
+            proc()
+        finally:
+            _signal_state._active_reads = None
+        old = self._proc_reads.get(proc)
+        if old != reads:
+            fanout = self._fanout
+            if old:
+                for obj in old - reads:
+                    fanout[obj].discard(proc)
+                new = reads - old
+            else:
+                new = reads
+            for obj in new:
+                procs = fanout.get(obj)
+                if procs is None:
+                    fanout[obj] = procs = set()
+                procs.add(proc)
+            self._proc_reads[proc] = reads
+
+    def _flush_written(self) -> None:
+        """Commit every pending signal write and wake the fanout of changes."""
+        written = self._written
+        if not written:
+            return
+        self._written = []
+        pending = self._pending
+        fanout = self._fanout
+        for sig in written:
+            nxt = sig._next
+            if nxt != sig._value:
+                sig._value = nxt
+                procs = fanout.get(sig)
+                if procs:
+                    pending.update(procs)
+
+    def _settle_event(self) -> int:
+        """Run only the processes whose inputs changed, wave by wave."""
+        self._check_attached()
+        pending = self._pending
+        order = self._proc_index
+        evaluate = self._evaluate_traced
+        static = self._static_procs
+        # Commit test-bench ``sig.next`` pokes made since the last settle so
+        # they wake their fanout, mirroring the fixpoint strategy's
+        # commit-after-first-iteration behaviour.
+        self._flush_written()
+        iteration = 0
+        while pending:
+            iteration += 1
+            if iteration > self.max_settle:
+                raise CombinationalLoopError(
+                    f"combinational network did not settle after "
+                    f"{self.max_settle} iterations (cycle {self._cycles})")
+            wave = sorted(pending, key=order.__getitem__)
+            pending.clear()
+            for proc in wave:
+                if proc in static:
+                    proc()
+                else:
+                    evaluate(proc)
+            self._flush_written()
+        return iteration
+
+    def _settle(self) -> int:
+        """Run combinational processes to a fixed point.
+
+        Returns the number of delta iterations used.
+        """
+        if self._strategy == EVENT:
+            return self._settle_event()
+        return self._settle_fixpoint()
+
     def step(self, cycles: int = 1) -> None:
         """Advance the design by ``cycles`` clock cycles."""
         if cycles < 0:
             raise SimulationError(f"cannot step a negative number of cycles: {cycles}")
+        if self._strategy == EVENT:
+            settle = self._settle_event
+            flush = self._flush_written
+            seq = self._seq
+            watchers = self._watchers
+            for _ in range(cycles):
+                settle()
+                for proc in seq:
+                    proc()
+                flush()
+                settle()
+                self._cycles += 1
+                for watcher in watchers:
+                    watcher(self._cycles)
+            return
         for _ in range(cycles):
-            self._settle()
+            self._settle_fixpoint()
             for proc in self._seq:
                 proc()
             self._commit_all()
-            self._settle()
+            self._settle_fixpoint()
             self._cycles += 1
             for watcher in self._watchers:
                 watcher(self._cycles)
@@ -127,9 +361,24 @@ class Simulator:
         return self._settle()
 
     def reset(self) -> None:
-        """Reset all state and the cycle counter, then re-settle."""
+        """Reset all state, the cycle counter and watcher state, then re-settle.
+
+        Watchers whose owning object exposes an ``on_reset()`` method (the
+        :class:`~.trace.Recorder` and :class:`~.trace.VCDWriter` tracers do)
+        are told to clear their recorded state, so post-reset samples are not
+        appended to a pre-reset history with clashing cycle numbers.  The
+        initial settle is re-run under the simulator's configured strategy.
+        """
         self.top.reset_state()
         self._cycles = 0
+        if self._strategy == EVENT:
+            # Signal/memory resets jumped values without the commit
+            # discipline; re-seed every process and drop stale bookkeeping so
+            # the initial settle re-traces from scratch.
+            self._written = []
+            self._pending = set(self._comb)
+        for hook in self._watcher_resets:
+            hook()
         self._settle()
 
 

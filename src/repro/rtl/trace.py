@@ -26,13 +26,21 @@ class Recorder:
         self._signals = list(signals)
         self._names = [sig.name for sig in self._signals]
         self._rows: List[Dict[str, int]] = []
-        sim.add_watcher(self._sample)
+        sim.add_watcher(self._sample, on_reset=self.on_reset)
 
     def _sample(self, cycle: int) -> None:
         row = {"cycle": cycle}
         for sig in self._signals:
             row[sig.name] = sig.value
         self._rows.append(row)
+
+    def on_reset(self) -> None:
+        """Drop all samples; called by :meth:`Simulator.reset`.
+
+        Without this, post-reset samples would be appended after pre-reset
+        rows with clashing (restarted) cycle numbers.
+        """
+        self._rows.clear()
 
     @property
     def rows(self) -> List[Dict[str, int]]:
@@ -83,7 +91,7 @@ class VCDWriter:
         self._last: Dict[Signal, Optional[int]] = {sig: None for sig in self._signals}
         self._closed = False
         self._write_header(top, timescale)
-        sim.add_watcher(self._on_cycle)
+        sim.add_watcher(self._on_cycle, on_reset=self.on_reset)
 
     def _write_header(self, top: Component, timescale: str) -> None:
         out = self._file
@@ -113,6 +121,15 @@ class VCDWriter:
         for sig in self._signals:
             if sig.value != self._last[sig]:
                 self._emit(sig, sig.value)
+
+    def on_reset(self) -> None:
+        """Re-dump every signal at the next cycle marker after a reset.
+
+        A VCD stream cannot be rewound, so the writer instead forgets its
+        last-emitted values: the first post-reset sample re-emits the full
+        signal state, keeping the dump self-consistent for viewers.
+        """
+        self._last = {sig: None for sig in self._signals}
 
     def close(self) -> None:
         """Stop recording further cycles (the file object is not closed)."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core import CopyAlgorithm, make_container, make_iterator
-from ..rtl import Component, Simulator
+from ..rtl import EVENT, Component, Simulator
 from ..video import flatten, random_frame
 from .estimator import EstimateReport, ResourceEstimator
 from .target import TargetBoard, default_target
@@ -92,13 +92,15 @@ class _BufferPair(Component):
 def measure_stream_cycles_per_element(binding: str, width: int = 8,
                                       capacity: int = 64, elements: int = 64,
                                       extra_params: Optional[dict] = None,
-                                      max_cycles: int = 200_000) -> float:
+                                      max_cycles: int = 200_000,
+                                      strategy: str = EVENT) -> float:
     """Simulate a copy of ``elements`` through a buffer pair and report cycles/element."""
     from ..designs.system import run_stream_through  # local import avoids a cycle
 
     design = _BufferPair(binding, width, capacity, extra_params)
     frame = random_frame(elements, 1, seed=11, max_value=(1 << width) - 1)
-    result = run_stream_through(design, frame, max_cycles=max_cycles)
+    result = run_stream_through(design, frame, max_cycles=max_cycles,
+                                strategy=strategy)
     assert result["pixels"] == flatten(frame)
     return result["cycles"] / elements
 

@@ -50,9 +50,17 @@ class VideoStreamSource(Component):
         self._index = self.state(32, name=f"{name}_index")
         self._stall = self.state(16, name=f"{name}_stall")
         self.pixels_sent = self.state(32, name=f"{name}_pixels_sent")
+        # Sensitivity anchor for the event-driven scheduler: ``drive`` depends
+        # on the *length* of the Python-level pixel queue, which signal
+        # tracing cannot see.  The anchor signal is read by ``drive`` (so the
+        # scheduler records the dependency) and forced whenever the queue
+        # grows (so ``drive`` is woken); its value itself is never used.
+        self._queued = self.signal(32, init=len(self._pixels) & 0xFFFFFFFF,
+                                   name=f"{name}_queued")
 
         @self.comb
         def drive() -> None:
+            self._queued.value  # sensitivity anchor (see above)
             index = self._index.value
             have_pixel = index < len(self._pixels)
             stalled = self._stall.value != 0
@@ -77,13 +85,21 @@ class VideoStreamSource(Component):
     # -- stimulus management --------------------------------------------------------
 
     def queue_frame(self, frame: Frame) -> None:
-        """Append a frame to the transmit queue (allowed before simulation)."""
+        """Append a frame to the transmit queue (also allowed mid-simulation)."""
         self._pixels.extend(flatten(frame))
         self._frames_queued += 1
+        self._notify_queued()
 
     def queue_pixels(self, pixels: Sequence[int]) -> None:
         """Append raw pixel words to the transmit queue."""
         self._pixels.extend(int(p) for p in pixels)
+        self._notify_queued()
+
+    def _notify_queued(self) -> None:
+        """Wake ``drive`` after the pixel queue grew (see ``_queued``)."""
+        anchor = getattr(self, "_queued", None)
+        if anchor is not None:
+            anchor.force(len(self._pixels) & 0xFFFFFFFF)
 
     @property
     def exhausted(self) -> bool:

@@ -21,6 +21,8 @@ EXPECTATIONS = {
     "pixel_format_migration.py": ["bit-exact", "narrow-bus cost factor"],
     "convolution_gallery.py": ["bit-exact", "edge"],
     "design_space_explorer.py": ["Pareto front", "recommendations"],
+    "batch_sweep.py": ["Batched sweep", "points verified", "memo hits",
+                       "cheapest point", "fastest point"],
 }
 
 

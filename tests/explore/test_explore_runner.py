@@ -1,0 +1,156 @@
+"""Tests for the batched design-space runner: grid expansion, memoization
+and deterministic reporting."""
+
+import pytest
+
+from repro.explore import (
+    DesignPoint,
+    ExplorationRunner,
+    best_by,
+    comparison_report,
+    expand_grid,
+    is_valid_point,
+    results_table,
+)
+
+SMALL_GRID = dict(designs=("saa2vga",), pixel_formats=("gray8",),
+                  frame_sizes=((8, 4),), capacities=(8, 16))
+
+
+# -- grid expansion -------------------------------------------------------------
+
+
+def test_expand_grid_cartesian_product_and_order():
+    points = expand_grid(designs=("saa2vga",), pixel_formats=("gray8", "rgb24"),
+                         frame_sizes=((8, 4), (12, 6)), capacities=(8, 16))
+    # 2 bindings x 2 formats x 2 sizes x 2 capacities.
+    assert len(points) == 16
+    assert points == expand_grid(
+        designs=("saa2vga",), pixel_formats=("gray8", "rgb24"),
+        frame_sizes=((8, 4), (12, 6)), capacities=(8, 16)), \
+        "expansion must be deterministic"
+    # Nesting order: binding varies slowest among the non-design axes.
+    assert [p.binding for p in points[:8]] == ["fifo"] * 8
+    assert [p.binding for p in points[8:]] == ["sram"] * 8
+
+
+def test_expand_grid_fills_in_supported_bindings():
+    points = expand_grid(designs=("saa2vga", "blur"), frame_sizes=((8, 4),),
+                         capacities=(8,))
+    bindings = {(p.design, p.binding) for p in points}
+    assert bindings == {("saa2vga", "fifo"), ("saa2vga", "sram"),
+                        ("blur", "linebuffer")}
+
+
+def test_expand_grid_drops_invalid_combinations():
+    # blur never supports rgb24 pixels or the fifo binding.
+    points = expand_grid(designs=("blur",), bindings=("fifo", "linebuffer"),
+                         pixel_formats=("gray8", "rgb24"),
+                         frame_sizes=((8, 4),), capacities=(8,))
+    assert len(points) == 1
+    assert points[0].binding == "linebuffer"
+    assert points[0].pixel_format == "gray8"
+    # A frame too small for the 3x3 window is dropped too.
+    assert expand_grid(designs=("blur",), frame_sizes=((2, 2),),
+                       capacities=(8,)) == []
+
+
+def test_is_valid_point_reasons():
+    ok, reason = is_valid_point(DesignPoint("saa2vga", "fifo", "gray8", 8, 4, 8))
+    assert ok and reason is None
+    for point, fragment in [
+        (DesignPoint("nosuch", "fifo", "gray8", 8, 4, 8), "unknown design"),
+        (DesignPoint("saa2vga", "linebuffer", "gray8", 8, 4, 8), "binding"),
+        (DesignPoint("blur", "linebuffer", "rgb24", 8, 4, 8), "pixel"),
+        (DesignPoint("saa2vga", "fifo", "gray8", 8, 4, 1), "capacity"),
+    ]:
+        ok, reason = is_valid_point(point)
+        assert not ok and fragment in reason
+
+
+def test_design_hash_is_stable_and_distinct():
+    a = DesignPoint("saa2vga", "fifo", "gray8", 8, 4, 8)
+    b = DesignPoint("saa2vga", "fifo", "gray8", 8, 4, 8)
+    c = DesignPoint("saa2vga", "sram", "gray8", 8, 4, 8)
+    assert a.design_hash() == b.design_hash()
+    assert a.design_hash() != c.design_hash()
+
+
+# -- runner ---------------------------------------------------------------------
+
+
+def test_runner_simulates_and_verifies_each_point():
+    points = expand_grid(**SMALL_GRID)
+    runner = ExplorationRunner()
+    results = runner.run(points)
+    assert len(results) == len(points)
+    for result in results:
+        assert result.verified
+        assert result.cycles > 0
+        assert result.outputs == 8 * 4
+        assert result.luts > 0
+
+
+def test_runner_memoizes_repeated_points():
+    points = expand_grid(**SMALL_GRID)
+    runner = ExplorationRunner()
+    first = runner.run(points)
+    assert runner.evaluations == len(points)
+    assert runner.cache_hits == 0
+
+    # Same grid again: all hits, same objects, no new simulations.
+    second = runner.run(points)
+    assert runner.evaluations == len(points)
+    assert runner.cache_hits == len(points)
+    assert [id(res) for res in second] == [id(res) for res in first]
+
+    # Duplicates inside one call also hit the memo (after one evaluation).
+    runner2 = ExplorationRunner()
+    doubled = runner2.run(points + points)
+    assert runner2.evaluations == len(points)
+    assert runner2.cache_hits == len(points)
+    assert doubled[:len(points)] == doubled[len(points):]
+
+
+def test_runner_results_keep_input_order():
+    points = expand_grid(**SMALL_GRID)
+    runner = ExplorationRunner()
+    reversed_results = runner.run(list(reversed(points)))
+    assert [res.point for res in reversed_results] == list(reversed(points))
+
+
+# -- reporting ------------------------------------------------------------------
+
+
+def test_report_ordering_is_deterministic():
+    points = expand_grid(**SMALL_GRID)
+    runner = ExplorationRunner()
+    forward = runner.run(points)
+    backward = runner.run(list(reversed(points)))
+    # Same rows, same order, regardless of evaluation/result order.
+    assert results_table(forward) == results_table(backward)
+    assert comparison_report(forward) == comparison_report(backward)
+    report = comparison_report(forward)
+    assert report.splitlines()[0] == "Design-space exploration."
+    assert report.count("saa2vga") == len(points)
+
+
+def test_best_by_selects_verified_extremes():
+    points = expand_grid(designs=("saa2vga",), pixel_formats=("gray8",),
+                         frame_sizes=((8, 4),), capacities=(8,))
+    runner = ExplorationRunner()
+    results = runner.run(points)
+    fastest = best_by(results, lambda res: res.throughput, lowest=False)
+    assert fastest.point.binding == "fifo", "FIFO binding is the fast one"
+    cheapest = best_by(results, lambda res: res.luts + res.ffs)
+    assert cheapest.verified
+
+
+def test_best_by_rejects_empty():
+    with pytest.raises(ValueError):
+        best_by([], lambda res: 0)
+
+
+def test_runner_rejects_bad_processes():
+    with pytest.raises(ValueError):
+        ExplorationRunner(processes=0)

@@ -1,0 +1,192 @@
+"""Differential tests: event-driven and fixpoint settling must agree exactly.
+
+The event-driven scheduler is an optimisation, not a semantics change: on
+every design in ``repro.designs`` both strategies must produce identical
+pixel streams, identical cycle counts and identical per-cycle signal traces.
+The fixpoint engine is the oracle because it evaluates everything — it cannot
+miss a dependency.
+"""
+
+import pytest
+
+from repro.designs import (
+    BlurCustomDesign,
+    Saa2VgaCustomFIFO,
+    Saa2VgaCustomSRAM,
+    VideoSystem,
+    build_blur_pattern,
+    build_saa2vga_pattern,
+)
+from repro.rtl import EVENT, FIXPOINT, Component, Recorder, SimulationError, Simulator
+from repro.video import flatten, golden_blur3x3, random_frame
+
+FRAME = random_frame(10, 6, seed=77)
+PIXELS = flatten(FRAME)
+BLUR_GOLDEN = flatten(golden_blur3x3(FRAME))
+
+DESIGNS = {
+    "saa2vga pattern/fifo": (lambda: build_saa2vga_pattern("fifo", capacity=8),
+                             PIXELS),
+    "saa2vga pattern/sram": (lambda: build_saa2vga_pattern("sram", capacity=8),
+                             PIXELS),
+    "saa2vga custom/fifo": (lambda: Saa2VgaCustomFIFO(capacity=8), PIXELS),
+    "saa2vga custom/sram": (lambda: Saa2VgaCustomSRAM(capacity=8), PIXELS),
+    "blur pattern": (lambda: build_blur_pattern(line_width=10, out_capacity=8),
+                     BLUR_GOLDEN),
+    "blur custom": (lambda: BlurCustomDesign(line_width=10, out_capacity=8),
+                    BLUR_GOLDEN),
+}
+
+
+def trace_design(factory, expected, strategy):
+    """Simulate a design sampling *every* signal each cycle."""
+    system = VideoSystem(factory(), frames=[FRAME])
+    sim = Simulator(system, strategy=strategy)
+    recorder = Recorder(sim, system.all_signals())
+    sim.run_until(lambda: system.sink.count >= len(expected), 50_000)
+    return system.received_pixels(), sim.cycles, recorder.rows
+
+
+@pytest.mark.parametrize("label", sorted(DESIGNS))
+def test_event_and_fixpoint_traces_identical(label):
+    factory, expected = DESIGNS[label]
+    ev_pixels, ev_cycles, ev_rows = trace_design(factory, expected, EVENT)
+    fp_pixels, fp_cycles, fp_rows = trace_design(factory, expected, FIXPOINT)
+    assert ev_pixels == expected
+    assert ev_pixels == fp_pixels
+    assert ev_cycles == fp_cycles
+    assert ev_rows == fp_rows
+
+
+@pytest.mark.parametrize("stalls", [(2, 0), (0, 3), (2, 3)])
+def test_strategies_agree_under_backpressure(stalls):
+    """Source/sink stalling exercises the idle paths the scheduler skips."""
+    source_stall, sink_stall = stalls
+    results = []
+    for strategy in (EVENT, FIXPOINT):
+        system = VideoSystem(build_saa2vga_pattern("fifo", capacity=8),
+                             frames=[FRAME], source_stall=source_stall,
+                             sink_stall=sink_stall)
+        sim = system.simulate(len(PIXELS), max_cycles=50_000, strategy=strategy)
+        results.append((system.received_pixels(), sim.cycles))
+    assert results[0] == results[1]
+    assert results[0][0] == PIXELS
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(Component("empty"), strategy="levelized")
+
+
+class _Toggler(Component):
+    """Minimal clocked design for reset-behaviour tests."""
+
+    def __init__(self):
+        super().__init__("toggler")
+        self.count = self.state(8)
+        self.parity = self.signal(1)
+
+        @self.comb
+        def decode():
+            self.parity.next = self.count.value & 1
+
+        @self.seq
+        def advance():
+            self.count.next = self.count.value + 1
+
+
+@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT])
+def test_reset_clears_recorder_and_resettles(strategy):
+    """Regression: reset() must clear watcher state and re-run the initial
+    settle under the selected strategy, so post-reset traces start clean."""
+    top = _Toggler()
+    sim = Simulator(top, strategy=strategy)
+    recorder = Recorder(sim, [top.count, top.parity])
+    sim.step(5)
+    assert len(recorder.rows) == 5
+    sim.reset()
+    assert sim.cycles == 0
+    assert recorder.rows == []          # watcher state cleared
+    assert top.count.value == 0
+    assert top.parity.value == 0        # combinational outputs re-settled
+    sim.step(3)
+    rows = recorder.rows
+    assert [row["cycle"] for row in rows] == [1, 2, 3]
+    assert [row[top.parity.name] for row in rows] == [1, 0, 1]
+
+
+@pytest.mark.parametrize("label", ["saa2vga pattern/fifo", "blur pattern"])
+def test_reset_then_rerun_reproduces_first_run(label):
+    """After reset() the event-driven scheduler must re-trace from scratch
+    and reproduce the first run exactly (same pixels, same cycle count)."""
+    factory, expected = DESIGNS[label]
+    system = VideoSystem(factory(), frames=[FRAME])
+    sim = Simulator(system, strategy=EVENT)
+    sim.run_until(lambda: system.sink.count >= len(expected), 50_000)
+    first = (system.received_pixels(), sim.cycles)
+    assert first[0] == expected
+
+    sim.reset()
+    system.sink.clear()
+    # The source replays its queued pixels after reset; the run must match.
+    sim.run_until(lambda: system.sink.count >= len(expected), 50_000)
+    assert (system.received_pixels(), sim.cycles) == first
+
+
+@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT])
+def test_preconstruction_next_pokes_commit_identically(strategy):
+    """A legal two-phase poke made before the simulator exists must be
+    committed by the initial settle under either strategy."""
+    chain = _Toggler()
+    chain.count.next = 5
+    sim = Simulator(chain, strategy=strategy)
+    assert chain.count.value == 5
+    assert chain.parity.value == 1
+    sim.step()
+    assert chain.count.value == 6
+
+
+def test_superseded_event_simulator_raises_instead_of_stale_results():
+    """Attaching a second simulator to the same hierarchy must not leave the
+    first one silently returning stale values."""
+    top = _Toggler()
+    first = Simulator(top, strategy=EVENT)
+    first.step(2)
+    Simulator(top, strategy=FIXPOINT)  # steals/detaches the hooks
+    with pytest.raises(SimulationError):
+        first.step()
+    with pytest.raises(SimulationError):
+        first.settle()
+
+
+def test_wrapped_watcher_reset_via_explicit_hook():
+    """Watchers that are not bound methods register their reset explicitly."""
+    import functools
+
+    top = _Toggler()
+    sim = Simulator(top, strategy=EVENT)
+    rows = []
+    sample = functools.partial(lambda store, cycle: store.append(cycle), rows)
+    sim.add_watcher(sample, on_reset=rows.clear)
+    sim.step(4)
+    assert rows == [1, 2, 3, 4]
+    sim.reset()
+    assert rows == []
+    sim.step(2)
+    assert rows == [1, 2]
+
+
+def test_mid_simulation_frame_queueing_wakes_source():
+    """Queueing pixels after the source went idle must wake it again (the
+    event scheduler sees the growth through the source's sensitivity anchor)."""
+    system = VideoSystem(build_saa2vga_pattern("fifo", capacity=8),
+                         frames=[FRAME])
+    sim = Simulator(system, strategy=EVENT)
+    sim.run_until(lambda: system.sink.count >= len(PIXELS), 50_000)
+    # Let the pipeline drain completely and go quiescent.
+    sim.step(20)
+    assert system.sink.count == len(PIXELS)
+    second = random_frame(10, 6, seed=78)
+    system.source.queue_frame(second)
+    sim.run_until(lambda: system.sink.count >= 2 * len(PIXELS), 50_000)
+    assert system.received_pixels() == PIXELS + flatten(second)
