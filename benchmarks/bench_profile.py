@@ -29,3 +29,48 @@ def quick_mode() -> bool:
 def scaled(full, quick):
     """Pick the full- or quick-profile value for a sizing constant."""
     return quick if quick_mode() else full
+
+
+# -- benchmark metric registry ----------------------------------------------------
+#
+# Benchmarks record headline numbers (cycles simulated per wall-clock second,
+# per design per strategy) here; when the ``REPRO_BENCH_JSON`` environment
+# variable names a path, ``benchmarks/conftest.py`` writes the registry to it
+# at session end.  CI uploads that file as a ``BENCH_*.json`` artifact and
+# ``benchmarks/check_regression.py`` enforces the guarded floors on it.
+
+JSON_ENV_VAR = "REPRO_BENCH_JSON"
+
+_metrics: dict = {}
+
+
+def record_metric(category: str, design: str, name: str, value) -> None:
+    """Record one benchmark measurement (e.g. cycles/sec for a strategy)."""
+    _metrics.setdefault(category, {}).setdefault(design, {})[name] = value
+
+
+def metrics() -> dict:
+    """A snapshot of everything recorded so far."""
+    return {category: {design: dict(values)
+                       for design, values in designs.items()}
+            for category, designs in _metrics.items()}
+
+
+def metrics_path():
+    """Where to write the JSON artifact, or None when not requested."""
+    path = os.environ.get(JSON_ENV_VAR, "").strip()
+    return path or None
+
+
+def write_metrics(path: str) -> dict:
+    """Serialise the registry (plus profile metadata) to ``path``."""
+    import json
+
+    payload = {
+        "profile": "quick" if quick_mode() else "full",
+        **metrics(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

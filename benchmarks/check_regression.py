@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Enforce performance floors on a benchmark JSON artifact.
+
+CI runs the benchmark suite with ``REPRO_BENCH_JSON=<path>`` (which makes
+``benchmarks/conftest.py`` write the metric registry at session end), uploads
+the file as a ``BENCH_*.json`` artifact, and then runs::
+
+    python benchmarks/check_regression.py <path>
+
+The floors here mirror the assertions inside ``test_throughput.py`` — the
+point of duplicating them is that the artifact, not just the test run, is
+the unit of record: a future change to how benchmarks execute cannot
+silently drop a guard without also touching this file.
+
+Exit status: 0 when every guarded ratio holds, 1 otherwise (or when an
+expected measurement is missing from the artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: (design, fast strategy, slow strategy, floor).  Ratios are recomputed
+#: from the raw cycles/sec numbers so a corrupted "speedup" section cannot
+#: mask a regression.
+FLOORS = [
+    ("saa2vga_fifo", "event", "fixpoint", 2.0),
+    ("saa2vga_fifo", "compiled", "fixpoint", 2.0),
+    ("saa2vga_fifo", "compiled", "event", 1.2),
+    ("blur_pattern", "compiled", "fixpoint", 1.5),
+]
+
+
+def check(payload: dict) -> list:
+    """Return a list of human-readable failures (empty when all floors hold)."""
+    failures = []
+    cps = payload.get("cycles_per_second", {})
+    for design, fast, slow, floor in FLOORS:
+        measurements = cps.get(design, {})
+        fast_cps = measurements.get(fast)
+        slow_cps = measurements.get(slow)
+        if not fast_cps or not slow_cps:
+            failures.append(
+                f"{design}: missing cycles_per_second for "
+                f"{fast!r} and/or {slow!r}")
+            continue
+        ratio = fast_cps / slow_cps
+        status = "ok" if ratio >= floor else "REGRESSION"
+        print(f"{design}: {fast} {fast_cps:,.0f} c/s vs {slow} "
+              f"{slow_cps:,.0f} c/s -> {ratio:.2f}x (floor {floor}x) {status}")
+        if ratio < floor:
+            failures.append(
+                f"{design}: {fast} is only {ratio:.2f}x {slow}, "
+                f"floor is {floor}x")
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <bench.json>", file=sys.stderr)
+        return 1
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    print(f"benchmark profile: {payload.get('profile', 'unknown')}")
+    failures = check(payload)
+    if failures:
+        print("\nperformance floors violated:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all performance floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,4 +10,15 @@ import bench_profile
 
 def pytest_report_header(config):
     profile = "quick (smoke)" if bench_profile.quick_mode() else "full"
-    return f"repro benchmark profile: {profile}"
+    header = f"repro benchmark profile: {profile}"
+    path = bench_profile.metrics_path()
+    if path:
+        header += f" (metrics -> {path})"
+    return header
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the benchmark-metric JSON artifact when requested via env."""
+    path = bench_profile.metrics_path()
+    if path and bench_profile.metrics():
+        bench_profile.write_metrics(path)

@@ -15,7 +15,6 @@ import pytest
 
 from bench_profile import scaled
 from repro.synth import (
-    characterize_buffer_binding,
     characterize_design_space,
     format_table,
     measure_stream_cycles_per_element,

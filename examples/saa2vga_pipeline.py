@@ -17,7 +17,7 @@ from repro.designs import (
     run_stream_through,
 )
 from repro.synth import DesignComparison, estimate_design, table3
-from repro.video import flatten, frames_equal, gradient_frame, unflatten
+from repro.video import frames_equal, gradient_frame, unflatten
 
 WIDTH, HEIGHT = 32, 16
 

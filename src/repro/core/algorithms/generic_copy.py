@@ -12,7 +12,6 @@ also the baseline for the throughput ablation bench.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..iterator import HardwareIterator
 from .base import Algorithm

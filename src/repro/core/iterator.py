@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple, Type
 
 from ..rtl import Component
 from .container import Container
-from .interfaces import IteratorIface, IteratorOp, Traversal
+from .interfaces import IteratorIface, IteratorOp
 
 
 class IteratorError(Exception):

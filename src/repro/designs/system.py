@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..rtl import EVENT, Component, SimulationError, Simulator
+from ..rtl import EVENT, Component, Simulator
 from ..video import Frame, VideoStreamSink, VideoStreamSource
 
 

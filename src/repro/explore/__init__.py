@@ -6,7 +6,8 @@ generate versions of each one for every physical target and range of
 configuration parameters").  This subsystem industrialises that step: a grid
 of (design x container binding x pixel format x frame size x capacity)
 points is expanded, every point is simulated and characterised through the
-event-driven simulator, results are memoized by design hash so repeated
+fastest settle backend (``strategy="auto"`` resolves to the compiled
+engine), results are memoized by design hash *and* strategy so repeated
 points are free, and a comparison report is emitted with the same table
 formatter the Table-3 reproduction uses.
 
@@ -23,15 +24,23 @@ Typical use::
 
 from .grid import DesignPoint, expand_grid, is_valid_point
 from .report import best_by, comparison_report, results_table
-from .runner import ExplorationResult, ExplorationRunner, evaluate_point
+from .runner import (
+    AUTO,
+    ExplorationResult,
+    ExplorationRunner,
+    evaluate_point,
+    resolve_strategy,
+)
 
 __all__ = [
+    "AUTO",
     "DesignPoint",
     "expand_grid",
     "is_valid_point",
     "ExplorationResult",
     "ExplorationRunner",
     "evaluate_point",
+    "resolve_strategy",
     "comparison_report",
     "results_table",
     "best_by",

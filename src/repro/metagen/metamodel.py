@@ -15,7 +15,7 @@ that are really used by the selected operations".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 

@@ -19,7 +19,7 @@ from .errors import (
 )
 from .fsm import FSM
 from .signal import REG, WIRE, Signal, SignalBundle, register, wire
-from .simulator import EVENT, FIXPOINT, STRATEGIES, Simulator, pulse
+from .simulator import COMPILED, EVENT, FIXPOINT, STRATEGIES, Simulator, pulse
 from .trace import Recorder, VCDWriter
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "REG",
     "WIRE",
     "Simulator",
+    "COMPILED",
     "EVENT",
     "FIXPOINT",
     "STRATEGIES",

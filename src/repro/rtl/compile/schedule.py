@@ -1,0 +1,238 @@
+"""Dependency scheduling for the compiled settle function.
+
+The analysed combinational network is turned into *units* — either one
+transpiled statement or one whole process — and a dependency graph:
+
+* writer-before-reader for every signal and memory (so a single pass in
+  topological order reaches the settle fixed point directly);
+* program order between multiple writers of the same signal (last writer
+  wins, exactly as under repeated fixpoint evaluation);
+* definition-before-use program order for the local temporaries shared by
+  the statements of a split process.
+
+Strongly connected components (true combinational feedback, e.g. a
+ready/valid loop that converges) are collapsed and emitted as small
+iterate-until-stable groups; everything else becomes straight-line code.
+The condensation is ordered with a deterministic Kahn topological sort so
+the generated source is reproducible for a given design.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .analyze import ProcAnalysis, StatementUnit
+
+
+@dataclass
+class Unit:
+    """One schedulable piece of the combinational network."""
+
+    index: int                      # global program order
+    proc_index: int                 # which process it came from
+    analysis: ProcAnalysis
+    stmt: StatementUnit = None      # None -> whole-process call unit
+    reads: Set = field(default_factory=set)
+    writes: Set = field(default_factory=set)
+    mem_reads: Set = field(default_factory=set)
+    mem_writes: Set = field(default_factory=set)
+    locals_touched: Set[str] = field(default_factory=set)
+
+    @property
+    def is_call(self) -> bool:
+        return self.stmt is None
+
+
+@dataclass
+class ScheduleGroup:
+    """A topological position: one unit, or a cyclic group to iterate."""
+
+    units: List[Unit]
+    cyclic: bool
+
+
+@dataclass
+class Schedule:
+    """The complete settle plan for one design."""
+
+    groups: List[ScheduleGroup]
+    opaque: List[ProcAnalysis]
+    units: List[Unit]
+
+    @property
+    def guarded(self) -> bool:
+        """True when opaque processes force convergence-checked settling."""
+        return bool(self.opaque)
+
+
+def build_units(analyses: Sequence[ProcAnalysis]) -> Tuple[List[Unit],
+                                                           List[ProcAnalysis]]:
+    """Flatten process analyses into schedulable units plus opaque leftovers."""
+    units: List[Unit] = []
+    opaque: List[ProcAnalysis] = []
+    for proc_index, analysis in enumerate(analyses):
+        if analysis.opaque:
+            opaque.append(analysis)
+            continue
+        if analysis.transpilable:
+            for stmt in analysis.units:
+                units.append(Unit(
+                    index=len(units), proc_index=proc_index, analysis=analysis,
+                    stmt=stmt, reads=set(stmt.reads), writes=set(stmt.writes),
+                    mem_reads=set(stmt.mem_reads),
+                    mem_writes=set(stmt.mem_writes),
+                    locals_touched=set(stmt.locals_touched)))
+        else:
+            units.append(Unit(
+                index=len(units), proc_index=proc_index, analysis=analysis,
+                reads=set(analysis.reads), writes=set(analysis.writes),
+                mem_reads=set(analysis.mem_reads),
+                mem_writes=set(analysis.mem_writes)))
+    return units, opaque
+
+
+def build_edges(units: Sequence[Unit]) -> List[Set[int]]:
+    """Adjacency sets: an edge u -> v means u must run before v."""
+    edges: List[Set[int]] = [set() for _ in units]
+
+    def add(src: int, dst: int) -> None:
+        if src != dst:
+            edges[src].add(dst)
+
+    writers: Dict[object, List[int]] = {}
+    readers: Dict[object, List[int]] = {}
+    for unit in units:
+        for sig in unit.writes:
+            writers.setdefault(sig, []).append(unit.index)
+        for mem in unit.mem_writes:
+            writers.setdefault(mem, []).append(unit.index)
+        for sig in unit.reads:
+            readers.setdefault(sig, []).append(unit.index)
+        for mem in unit.mem_reads:
+            readers.setdefault(mem, []).append(unit.index)
+
+    for obj, writer_list in writers.items():
+        # Multiple writers keep program order (last writer wins, as under
+        # the fixpoint strategy's registration-order evaluation).
+        ordered = sorted(writer_list)
+        for earlier, later in zip(ordered, ordered[1:]):
+            add(earlier, later)
+        for reader in readers.get(obj, ()):  # writer before reader
+            for writer in writer_list:
+                add(writer, reader)
+
+    # Local temporaries: total program order among the statements of one
+    # process that touch the same name (defs and uses alike).
+    per_proc_locals: Dict[Tuple[int, str], List[int]] = {}
+    for unit in units:
+        if unit.stmt is None:
+            continue
+        for name in unit.locals_touched:
+            per_proc_locals.setdefault((unit.proc_index, name),
+                                       []).append(unit.index)
+    for touchers in per_proc_locals.values():
+        ordered = sorted(touchers)
+        for earlier, later in zip(ordered, ordered[1:]):
+            add(earlier, later)
+
+    return edges
+
+
+def _self_cyclic(unit: Unit) -> bool:
+    """A unit that reads something it writes must be iterated."""
+    return bool((unit.reads & unit.writes)
+                or (unit.mem_reads & unit.mem_writes))
+
+
+def _tarjan_sccs(edges: Sequence[Set[int]]) -> List[List[int]]:
+    """Iterative Tarjan; returns SCCs (each a list of unit indices)."""
+    n = len(edges)
+    index_of = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        work = [(root, iter(sorted(edges[root])))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if index_of[succ] == -1:
+                    index_of[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(sorted(edges[succ]))))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+def build_schedule(analyses: Sequence[ProcAnalysis]) -> Schedule:
+    """Order the combinational network for single-pass settling."""
+    units, opaque = build_units(analyses)
+    edges = build_edges(units)
+    sccs = _tarjan_sccs(edges)
+
+    scc_of: Dict[int, int] = {}
+    for scc_id, members in enumerate(sccs):
+        for member in members:
+            scc_of[member] = scc_id
+
+    # Condensation graph + deterministic Kahn (min unit index first).
+    cond_edges: List[Set[int]] = [set() for _ in sccs]
+    indegree = [0] * len(sccs)
+    for src, dsts in enumerate(edges):
+        for dst in dsts:
+            a, b = scc_of[src], scc_of[dst]
+            if a != b and b not in cond_edges[a]:
+                cond_edges[a].add(b)
+                indegree[b] += 1
+
+    key = [min(members) for members in sccs]
+    ready = [(key[i], i) for i in range(len(sccs)) if indegree[i] == 0]
+    heapq.heapify(ready)
+    ordered: List[int] = []
+    while ready:
+        _, scc_id = heapq.heappop(ready)
+        ordered.append(scc_id)
+        for succ in cond_edges[scc_id]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, (key[succ], succ))
+    assert len(ordered) == len(sccs), "condensation must be acyclic"
+
+    groups: List[ScheduleGroup] = []
+    for scc_id in ordered:
+        members = [units[i] for i in sccs[scc_id]]
+        cyclic = len(members) > 1 or _self_cyclic(members[0])
+        groups.append(ScheduleGroup(units=members, cyclic=cyclic))
+    return Schedule(groups=groups, opaque=opaque, units=units)

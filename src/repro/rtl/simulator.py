@@ -30,13 +30,22 @@ Two settle strategies implement that contract:
 ``strategy="fixpoint"``
     The classic evaluate-everything discipline: all combinational processes
     are re-evaluated each delta iteration until no signal changes.  Kept as a
-    fallback and as a differential-testing oracle — both strategies must
+    fallback and as a differential-testing oracle — all strategies must
     produce cycle-identical traces on every design
     (``tests/rtl/test_strategy_equivalence.py``).
 
-Both strategies observe identical two-phase semantics: processes read
-committed values and write pending ones, so evaluation order within a delta
-iteration is immaterial and the two engines agree cycle-for-cycle.
+``strategy="compiled"``
+    Per-design specialisation: the combinational network is statically
+    analysed (:mod:`repro.rtl.compile`), topologically ordered and emitted
+    as one straight-line Python function with slot-indexed signal access,
+    inlined bit-width masks and fused write+commit — a settle is a single
+    pass with no scheduler overhead at all.  True combinational feedback
+    iterates in small local groups; processes the analyser cannot fully
+    resolve demote the settle to a guarded convergence loop, so the
+    strategy is never wrong, merely slower on such designs.
+
+All strategies observe identical two-phase semantics: by the end of a settle
+the network is at the same fixed point, so the engines agree cycle-for-cycle.
 """
 
 from __future__ import annotations
@@ -51,7 +60,8 @@ from .signal import Signal
 #: Settle-strategy names accepted by :class:`Simulator`.
 EVENT = "event"
 FIXPOINT = "fixpoint"
-STRATEGIES = (EVENT, FIXPOINT)
+COMPILED = "compiled"
+STRATEGIES = (EVENT, FIXPOINT, COMPILED)
 
 
 class Simulator:
@@ -68,12 +78,18 @@ class Simulator:
     max_cycles:
         A global safety limit for :meth:`run_until`.
     strategy:
-        ``"event"`` (default) for sensitivity-based event-driven settling or
-        ``"fixpoint"`` for the evaluate-everything oracle.
+        ``"event"`` (default) for sensitivity-based event-driven settling,
+        ``"fixpoint"`` for the evaluate-everything oracle, or ``"compiled"``
+        for per-design specialised straight-line code.
+    verify:
+        Only meaningful with ``strategy="compiled"``: after every settle,
+        re-run the fixpoint oracle and raise if the compiled schedule left
+        the network unsettled.  Slow; intended for differential testing.
     """
 
     def __init__(self, top: Component, max_settle: int = 64,
-                 max_cycles: int = 10_000_000, strategy: str = EVENT) -> None:
+                 max_cycles: int = 10_000_000, strategy: str = EVENT,
+                 verify: bool = False) -> None:
         if strategy not in STRATEGIES:
             raise SimulationError(
                 f"unknown settle strategy {strategy!r}; expected one of "
@@ -89,7 +105,31 @@ class Simulator:
         self._cycles = 0
         self._watchers: List[Callable[[int], None]] = []
         self._watcher_resets: List[Callable[[], None]] = []
-        if strategy == EVENT:
+        self._verify = verify
+        #: Number of settles where the static analysis was caught missing a
+        #: write (compiled strategy only); the simulator self-corrects by
+        #: falling back to fixpoint convergence, but a non-zero count means
+        #: the analyser should be fixed.  Always 0 on the shipped designs.
+        self.analysis_misses = 0
+        if strategy == COMPILED:
+            from .compile import compile_design
+
+            self._invalidate_previous()
+            self._written: List[Signal] = []
+            self._dirty = True
+            for sig in self._signals:
+                sig._sched = self
+                if sig._next != sig._value:
+                    self._written.append(sig)
+            for mem in self._memories:
+                mem._sched = self
+            self._program = compile_design(self._comb, self._seq,
+                                           max_settle=max_settle)
+            #: Generated Python source of the specialised settle/cycle pair.
+            self.compiled_source = self._program.source
+            #: :class:`~repro.rtl.compile.emit.CompileReport` for this design.
+            self.compile_report = self._program.report
+        elif strategy == EVENT:
             # Deterministic evaluation order within a delta wave: processes
             # run in registration order, matching the fixpoint strategy.
             self._proc_index = {proc: i for i, proc in enumerate(self._comb)}
@@ -196,15 +236,62 @@ class Simulator:
         Called by :meth:`Signal.force` and :meth:`Signal.reset` so test-bench
         pokes wake the processes that depend on the signal.
         """
+        if self._strategy == COMPILED:
+            self._dirty = True
+            return
         procs = self._fanout.get(sig)
         if procs:
             self._pending.update(procs)
 
     def notify_memory(self, mem: Memory) -> None:
         """A memory word was written; wake every process that read the array."""
+        if self._strategy == COMPILED:
+            self._dirty = True
+            return
         procs = self._fanout.get(mem)
         if procs:
             self._pending.update(procs)
+
+    def _raise_comb_loop(self) -> None:
+        """Raise the standard non-convergence error (all strategies)."""
+        raise CombinationalLoopError(
+            f"combinational network did not settle after {self.max_settle} "
+            f"iterations (cycle {self._cycles})")
+
+    # -- compiled-strategy support hooks ------------------------------------------
+
+    def _drain_check(self) -> None:
+        """Commit leftover writes after a compiled settle.
+
+        Writes from non-inlined processes land in ``_written`` via the
+        :attr:`Signal.next` hook; the generated code already committed every
+        statically-known write, so surviving differences mean the analyser
+        under-approximated a write set.  The simulator self-corrects by
+        converging with the fixpoint oracle and records the miss.
+        """
+        missed = False
+        written = self._written
+        for sig in written:
+            if sig._value != sig._next:
+                sig._value = sig._next
+                missed = True
+        del written[:]
+        if missed:
+            self.analysis_misses += 1
+            self._settle_fixpoint()
+            del self._written[:]
+
+    def _verify_settled(self) -> None:
+        """Differential check: the compiled settle must be a fixed point."""
+        for proc in self._comb:
+            proc()
+        changed = self._commit_all()
+        del self._written[:]
+        if changed:
+            self.analysis_misses += 1
+            raise SimulationError(
+                "compiled settle did not reach the fixpoint oracle's fixed "
+                "point; the static analysis missed a dependency")
 
     # -- core evaluation ----------------------------------------------------------
 
@@ -222,9 +309,7 @@ class Simulator:
                 proc()
             if not self._commit_all():
                 return iteration
-        raise CombinationalLoopError(
-            f"combinational network did not settle after {self.max_settle} "
-            f"iterations (cycle {self._cycles})")
+        self._raise_comb_loop()
 
     def _evaluate_traced(self, proc: Callable[[], None]) -> None:
         """Evaluate ``proc`` recording every Signal/Memory it reads.
@@ -289,9 +374,7 @@ class Simulator:
         while pending:
             iteration += 1
             if iteration > self.max_settle:
-                raise CombinationalLoopError(
-                    f"combinational network did not settle after "
-                    f"{self.max_settle} iterations (cycle {self._cycles})")
+                self._raise_comb_loop()
             wave = sorted(pending, key=order.__getitem__)
             pending.clear()
             for proc in wave:
@@ -307,6 +390,8 @@ class Simulator:
 
         Returns the number of delta iterations used.
         """
+        if self._strategy == COMPILED:
+            return self._program.settle(self)
         if self._strategy == EVENT:
             return self._settle_event()
         return self._settle_fixpoint()
@@ -315,6 +400,11 @@ class Simulator:
         """Advance the design by ``cycles`` clock cycles."""
         if cycles < 0:
             raise SimulationError(f"cannot step a negative number of cycles: {cycles}")
+        if self._strategy == COMPILED:
+            cycle = self._program.cycle
+            for _ in range(cycles):
+                cycle(self)
+            return
         if self._strategy == EVENT:
             settle = self._settle_event
             flush = self._flush_written
@@ -377,6 +467,11 @@ class Simulator:
             # the initial settle re-traces from scratch.
             self._written = []
             self._pending = set(self._comb)
+        elif self._strategy == COMPILED:
+            # Resets restored both committed and pending values, so stale
+            # queue entries are harmless no-ops; re-run the full schedule.
+            self._written = []
+            self._dirty = True
         for hook in self._watcher_resets:
             hook()
         self._settle()

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core import CopyAlgorithm, make_container, make_iterator
-from ..rtl import EVENT, Component, Simulator
+from ..rtl import EVENT, Component
 from ..video import flatten, random_frame
 from .estimator import EstimateReport, ResourceEstimator
 from .target import TargetBoard, default_target

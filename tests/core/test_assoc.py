@@ -1,7 +1,5 @@
 """Behavioural tests of the associative-array container (CAM binding)."""
 
-import pytest
-
 from repro.core import make_container
 from repro.rtl import Component, Simulator
 

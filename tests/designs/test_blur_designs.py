@@ -3,7 +3,7 @@
 import pytest
 
 from repro.designs import BlurCustomDesign, BlurPatternDesign, build_blur_pattern, run_stream_through
-from repro.video import flatten, golden_blur3x3, gradient_frame, random_frame
+from repro.video import flatten, golden_blur3x3, random_frame
 
 WIDTH, HEIGHT = 16, 10
 FRAME = random_frame(WIDTH, HEIGHT, seed=77)

@@ -8,8 +8,6 @@ same structural footprint, drive every binding, and only the container
 implementation differs.
 """
 
-import pytest
-
 from repro.core import (
     CopyAlgorithm,
     TransformAlgorithm,

@@ -7,7 +7,6 @@ simulator must also be deterministic, since every experiment in the
 reproduction relies on exact repeatability.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import make_container, make_iterator

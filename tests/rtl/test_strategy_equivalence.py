@@ -1,10 +1,10 @@
-"""Differential tests: event-driven and fixpoint settling must agree exactly.
+"""Differential tests: every settle strategy must agree exactly.
 
-The event-driven scheduler is an optimisation, not a semantics change: on
-every design in ``repro.designs`` both strategies must produce identical
-pixel streams, identical cycle counts and identical per-cycle signal traces.
-The fixpoint engine is the oracle because it evaluates everything — it cannot
-miss a dependency.
+The event-driven scheduler and the compiled backend are optimisations, not
+semantics changes: on every design in ``repro.designs`` all strategies must
+produce identical pixel streams, identical cycle counts and identical
+per-cycle signal traces.  The fixpoint engine is the oracle because it
+evaluates everything — it cannot miss a dependency.
 """
 
 import pytest
@@ -17,8 +17,19 @@ from repro.designs import (
     build_blur_pattern,
     build_saa2vga_pattern,
 )
-from repro.rtl import EVENT, FIXPOINT, Component, Recorder, SimulationError, Simulator
+from repro.rtl import (
+    COMPILED,
+    EVENT,
+    FIXPOINT,
+    Component,
+    Recorder,
+    SimulationError,
+    Simulator,
+)
 from repro.video import flatten, golden_blur3x3, random_frame
+
+#: The optimised strategies, each checked against the fixpoint oracle.
+OPTIMISED = (EVENT, COMPILED)
 
 FRAME = random_frame(10, 6, seed=77)
 PIXELS = flatten(FRAME)
@@ -44,18 +55,40 @@ def trace_design(factory, expected, strategy):
     sim = Simulator(system, strategy=strategy)
     recorder = Recorder(sim, system.all_signals())
     sim.run_until(lambda: system.sink.count >= len(expected), 50_000)
-    return system.received_pixels(), sim.cycles, recorder.rows
+    return system.received_pixels(), sim.cycles, recorder.rows, sim
+
+
+@pytest.mark.parametrize("strategy", OPTIMISED)
+@pytest.mark.parametrize("label", sorted(DESIGNS))
+def test_traces_identical_to_fixpoint_oracle(label, strategy):
+    factory, expected = DESIGNS[label]
+    pixels, cycles, rows, sim = trace_design(factory, expected, strategy)
+    fp_pixels, fp_cycles, fp_rows, _ = trace_design(factory, expected, FIXPOINT)
+    assert pixels == expected
+    assert pixels == fp_pixels
+    assert cycles == fp_cycles
+    assert rows == fp_rows
+    if strategy == COMPILED:
+        assert sim.analysis_misses == 0, \
+            "static analysis under-approximated a write set"
 
 
 @pytest.mark.parametrize("label", sorted(DESIGNS))
-def test_event_and_fixpoint_traces_identical(label):
+def test_compiled_analysis_resolves_all_shipped_processes(label):
+    """No shipped process may fall back to the opaque convergence path, and
+    the compiled settle must land exactly on the oracle's fixed point (the
+    ``verify=True`` cross-check re-runs the fixpoint oracle every settle)."""
     factory, expected = DESIGNS[label]
-    ev_pixels, ev_cycles, ev_rows = trace_design(factory, expected, EVENT)
-    fp_pixels, fp_cycles, fp_rows = trace_design(factory, expected, FIXPOINT)
-    assert ev_pixels == expected
-    assert ev_pixels == fp_pixels
-    assert ev_cycles == fp_cycles
-    assert ev_rows == fp_rows
+    system = VideoSystem(factory(), frames=[FRAME])
+    sim = Simulator(system, strategy=COMPILED, verify=True)
+    report = sim.compile_report
+    assert report.n_opaque_procs == 0, report.opaque_reasons
+    assert not report.guarded
+    assert report.n_transpiled_procs > 0, \
+        "expected at least one process to dissolve into straight-line code"
+    sim.run_until(lambda: system.sink.count >= len(expected), 50_000)
+    assert system.received_pixels() == expected
+    assert sim.analysis_misses == 0
 
 
 @pytest.mark.parametrize("stalls", [(2, 0), (0, 3), (2, 3)])
@@ -63,13 +96,13 @@ def test_strategies_agree_under_backpressure(stalls):
     """Source/sink stalling exercises the idle paths the scheduler skips."""
     source_stall, sink_stall = stalls
     results = []
-    for strategy in (EVENT, FIXPOINT):
+    for strategy in (EVENT, COMPILED, FIXPOINT):
         system = VideoSystem(build_saa2vga_pattern("fifo", capacity=8),
                              frames=[FRAME], source_stall=source_stall,
                              sink_stall=sink_stall)
         sim = system.simulate(len(PIXELS), max_cycles=50_000, strategy=strategy)
         results.append((system.received_pixels(), sim.cycles))
-    assert results[0] == results[1]
+    assert results[0] == results[1] == results[2]
     assert results[0][0] == PIXELS
 
 
@@ -95,7 +128,7 @@ class _Toggler(Component):
             self.count.next = self.count.value + 1
 
 
-@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT])
+@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT, COMPILED])
 def test_reset_clears_recorder_and_resettles(strategy):
     """Regression: reset() must clear watcher state and re-run the initial
     settle under the selected strategy, so post-reset traces start clean."""
@@ -115,13 +148,14 @@ def test_reset_clears_recorder_and_resettles(strategy):
     assert [row[top.parity.name] for row in rows] == [1, 0, 1]
 
 
+@pytest.mark.parametrize("strategy", OPTIMISED)
 @pytest.mark.parametrize("label", ["saa2vga pattern/fifo", "blur pattern"])
-def test_reset_then_rerun_reproduces_first_run(label):
-    """After reset() the event-driven scheduler must re-trace from scratch
-    and reproduce the first run exactly (same pixels, same cycle count)."""
+def test_reset_then_rerun_reproduces_first_run(label, strategy):
+    """After reset() the optimised schedulers must start from scratch and
+    reproduce the first run exactly (same pixels, same cycle count)."""
     factory, expected = DESIGNS[label]
     system = VideoSystem(factory(), frames=[FRAME])
-    sim = Simulator(system, strategy=EVENT)
+    sim = Simulator(system, strategy=strategy)
     sim.run_until(lambda: system.sink.count >= len(expected), 50_000)
     first = (system.received_pixels(), sim.cycles)
     assert first[0] == expected
@@ -133,7 +167,7 @@ def test_reset_then_rerun_reproduces_first_run(label):
     assert (system.received_pixels(), sim.cycles) == first
 
 
-@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT])
+@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT, COMPILED])
 def test_preconstruction_next_pokes_commit_identically(strategy):
     """A legal two-phase poke made before the simulator exists must be
     committed by the initial settle under either strategy."""
@@ -146,17 +180,35 @@ def test_preconstruction_next_pokes_commit_identically(strategy):
     assert chain.count.value == 6
 
 
-def test_superseded_event_simulator_raises_instead_of_stale_results():
+@pytest.mark.parametrize("strategy", OPTIMISED)
+def test_superseded_simulator_raises_instead_of_stale_results(strategy):
     """Attaching a second simulator to the same hierarchy must not leave the
     first one silently returning stale values."""
     top = _Toggler()
-    first = Simulator(top, strategy=EVENT)
+    first = Simulator(top, strategy=strategy)
     first.step(2)
     Simulator(top, strategy=FIXPOINT)  # steals/detaches the hooks
     with pytest.raises(SimulationError):
         first.step()
     with pytest.raises(SimulationError):
         first.settle()
+
+
+@pytest.mark.parametrize("strategy", OPTIMISED)
+def test_superseded_simulator_raises_before_mutating_state(strategy):
+    """The detached check must fire *before* the clock edge: a stale
+    simulator stepping must not advance registers now owned by the
+    replacement simulator (a phantom clock edge)."""
+    top = _Toggler()
+    first = Simulator(top, strategy=strategy)
+    first.step(2)
+    replacement = Simulator(top, strategy=FIXPOINT)
+    count_before = top.count.value
+    with pytest.raises(SimulationError):
+        first.step()
+    assert top.count.value == count_before
+    replacement.step()
+    assert top.count.value == count_before + 1
 
 
 def test_wrapped_watcher_reset_via_explicit_hook():
@@ -176,12 +228,14 @@ def test_wrapped_watcher_reset_via_explicit_hook():
     assert rows == [1, 2]
 
 
-def test_mid_simulation_frame_queueing_wakes_source():
+@pytest.mark.parametrize("strategy", OPTIMISED)
+def test_mid_simulation_frame_queueing_wakes_source(strategy):
     """Queueing pixels after the source went idle must wake it again (the
-    event scheduler sees the growth through the source's sensitivity anchor)."""
+    optimised schedulers see the growth through the source's sensitivity
+    anchor)."""
     system = VideoSystem(build_saa2vga_pattern("fifo", capacity=8),
                          frames=[FRAME])
-    sim = Simulator(system, strategy=EVENT)
+    sim = Simulator(system, strategy=strategy)
     sim.run_until(lambda: system.sink.count >= len(PIXELS), 50_000)
     # Let the pipeline drain completely and go quiescent.
     sim.step(20)

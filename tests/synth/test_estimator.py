@@ -1,7 +1,5 @@
 """Tests for the structural resource estimator (the synthesis substitute)."""
 
-import pytest
-
 from repro.core import make_container, make_iterator
 from repro.designs import Saa2VgaCustomFIFO, build_saa2vga_pattern
 from repro.primitives import AsyncSRAM, SyncFIFO

@@ -6,7 +6,6 @@ consumes on-chip memory, dissolution never increases cost, and reports are
 deterministic for identical designs.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import make_container
