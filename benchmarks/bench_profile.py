@@ -31,6 +31,20 @@ def scaled(full, quick):
     return quick if quick_mode() else full
 
 
+def stimulus_seed(base: int) -> int:
+    """Frame seed for a benchmark: the fixed base offset by ``$REPRO_SEED``.
+
+    Benchmark frames come from :func:`repro.video.random_frame`, whose
+    pixels are a pure function of this seed via the named streams of
+    :mod:`repro.verify.rng` — so any failure is replayed exactly by
+    exporting the root seed the report header printed.  The default root
+    seed of 0 keeps the historical stimulus.
+    """
+    from repro.verify.rng import default_seed
+
+    return base + default_seed()
+
+
 # -- benchmark metric registry ----------------------------------------------------
 #
 # Benchmarks record headline numbers (cycles simulated per wall-clock second,

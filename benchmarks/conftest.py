@@ -9,11 +9,15 @@ import bench_profile
 
 
 def pytest_report_header(config):
+    from repro.verify.rng import SEED_ENV, default_seed
+
     profile = "quick (smoke)" if bench_profile.quick_mode() else "full"
     header = f"repro benchmark profile: {profile}"
     path = bench_profile.metrics_path()
     if path:
         header += f" (metrics -> {path})"
+    header += (f"; stimulus {SEED_ENV}={default_seed()} "
+               f"(repro.verify.rng named streams)")
     return header
 
 

@@ -14,6 +14,7 @@ code generator's width-adaptation plan (3 beats per pixel, beat counter in
 the generated VHDL).
 """
 
+from bench_profile import stimulus_seed
 from repro.core import CopyAlgorithm, make_container, make_iterator
 from repro.metagen import (
     CodeGenerator,
@@ -25,7 +26,7 @@ from repro.rtl import Component, Simulator
 from repro.testing import stream_feed_and_drain
 from repro.video import RGB24, flatten, gray_to_rgb24, random_frame
 
-GRAY_FRAME = random_frame(16, 6, seed=55)
+GRAY_FRAME = random_frame(16, 6, seed=stimulus_seed(55))
 RGB_PIXELS = [gray_to_rgb24(p) for p in flatten(GRAY_FRAME)]
 
 

@@ -22,6 +22,7 @@ EXPERIMENTS.md for the paper-vs-measured table.
 
 import pytest
 
+from bench_profile import stimulus_seed
 from repro.designs import (
     BlurCustomDesign,
     Saa2VgaCustomFIFO,
@@ -47,7 +48,7 @@ SYNTH_CAPACITY = 512
 SYNTH_LINE_WIDTH = 320
 
 # Simulation-sized instances (small frames keep the bench fast).
-SIM_FRAME = random_frame(16, 10, seed=100)
+SIM_FRAME = random_frame(16, 10, seed=stimulus_seed(100))
 SIM_PIXELS = flatten(SIM_FRAME)
 SIM_BLUR_GOLDEN = flatten(golden_blur3x3(SIM_FRAME))
 

@@ -17,7 +17,7 @@ import time
 
 import pytest
 
-from bench_profile import record_metric, scaled
+from bench_profile import record_metric, scaled, stimulus_seed
 from repro.designs import (
     BlurCustomDesign,
     Saa2VgaCustomFIFO,
@@ -31,7 +31,7 @@ from repro.rtl import COMPILED, EVENT, FIXPOINT, Simulator
 from repro.video import flatten, golden_blur3x3, random_frame
 
 FRAME_W, FRAME_H = scaled((24, 12), (12, 6))
-FRAME = random_frame(FRAME_W, FRAME_H, seed=500)
+FRAME = random_frame(FRAME_W, FRAME_H, seed=stimulus_seed(500))
 PIXELS = flatten(FRAME)
 BLUR_GOLDEN = flatten(golden_blur3x3(FRAME))
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..container import Container, register_binding, register_kind
 from ..interfaces import F, StreamSinkIface, StreamSourceIface
 from ...primitives import SyncFIFO
+from ...verify import mutate
 from .circular_sram import CircularBufferSRAM
 
 
@@ -48,7 +49,9 @@ class QueueFIFO(Queue):
         super().__init__(name, width, capacity)
         self.fifo = self.child(SyncFIFO(f"{name}_fifo", depth=capacity, width=width))
 
-        @self.comb
+        # Construction-time mutation switch (see repro.verify.mutate).
+        _ready_when_full = mutate.enabled("queue.ready_when_full")
+
         def wrap() -> None:
             self.fifo.din.next = self.sink.data.value
             self.fifo.push.next = self.sink.push.value
@@ -56,6 +59,18 @@ class QueueFIFO(Queue):
             self.source.data.next = self.fifo.dout.value
             self.source.valid.next = 0 if self.fifo.empty.value else 1
             self.fifo.pop.next = self.source.pop.value
+
+        def wrap_always_ready() -> None:
+            # MUTATED (test-only): advertises ready even when full, so
+            # accepted pushes are silently dropped by the guarded FIFO.
+            self.fifo.din.next = self.sink.data.value
+            self.fifo.push.next = self.sink.push.value
+            self.sink.ready.next = 1
+            self.source.data.next = self.fifo.dout.value
+            self.source.valid.next = 0 if self.fifo.empty.value else 1
+            self.fifo.pop.next = self.source.pop.value
+
+        self.comb(wrap_always_ready if _ready_when_full else wrap)
 
     @property
     def occupancy(self) -> int:

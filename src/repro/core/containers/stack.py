@@ -99,7 +99,16 @@ class StackSRAM(Stack):
 
         @self.comb
         def handshake() -> None:
-            self.sink.ready.next = 0 if self._hold_valid.value else 1
+            # Full guard: accept a push only while the *logical* occupancy
+            # (SRAM region + prefetched top + holding register) is below
+            # capacity.  Without the occupancy term the stack pointer grows
+            # past the SRAM region and wraps, silently overwriting the
+            # bottom of the stack — found by the constrained-random
+            # verification monitors (occupancy-bound rule).
+            occupied = (self._sp.value + self._top_valid.value
+                        + self._hold_valid.value)
+            self.sink.ready.next = 0 if (self._hold_valid.value
+                                         or occupied >= self.capacity) else 1
             self.source.valid.next = self._top_valid.value
             self.source.data.next = self._top.value
 
@@ -110,7 +119,11 @@ class StackSRAM(Stack):
             hold_valid = self._hold_valid.value
             top_valid = self._top_valid.value
 
-            if self.sink.push.value and not hold_valid:
+            # Acceptance mirrors the advertised ready (including the full
+            # guard): a push is latched only when the handshake offered it.
+            occupied = sp + top_valid + hold_valid
+            if self.sink.push.value and not hold_valid \
+                    and occupied < self.capacity:
                 self._hold.next = self.sink.data.value
                 self._hold_valid.next = 1
                 hold_valid = True

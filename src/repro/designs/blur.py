@@ -67,6 +67,21 @@ class BlurPatternDesign(Component):
         """Number of filtered output pixels produced so far."""
         return self.algorithm.elements_processed
 
+    def expected_output(self, pixels: list) -> list:
+        """Golden model for verification: interior 3x3 means in raster order.
+
+        ``pixels`` is the raster-ordered input stream; only complete lines
+        participate (a trailing partial line is ignored, matching the
+        hardware, which cannot form windows from pixels it never saw).
+        """
+        from ..video.frames import flatten, golden_blur3x3, unflatten
+
+        width = self.line_width
+        lines = len(pixels) // width
+        if lines < 3:
+            return []
+        return flatten(golden_blur3x3(unflatten(pixels[:lines * width], width)))
+
     def describe(self) -> dict:
         """Structural summary used by examples and the experiment reports."""
         return {

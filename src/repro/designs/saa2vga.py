@@ -79,6 +79,10 @@ class Saa2VgaPatternDesign(Component):
         """Number of pixels the copy algorithm has moved."""
         return self.algorithm.elements_processed
 
+    def expected_output(self, pixels: list) -> list:
+        """Golden model for verification: the copy pipeline is the identity."""
+        return list(pixels)
+
     def describe(self) -> dict:
         """Structural summary used by examples and the experiment reports."""
         return {

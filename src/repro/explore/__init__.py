@@ -23,7 +23,7 @@ Typical use::
 """
 
 from .grid import DesignPoint, expand_grid, is_valid_point
-from .report import best_by, comparison_report, results_table
+from .report import best_by, comparison_report, coverage_summary, results_table
 from .runner import (
     AUTO,
     ExplorationResult,
@@ -42,6 +42,7 @@ __all__ = [
     "evaluate_point",
     "resolve_strategy",
     "comparison_report",
+    "coverage_summary",
     "results_table",
     "best_by",
 ]

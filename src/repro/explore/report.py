@@ -23,8 +23,27 @@ def results_table(results: Sequence[ExplorationResult]) -> List[dict]:
 
 def comparison_report(results: Sequence[ExplorationResult],
                       title: str = "Design-space exploration.") -> str:
-    """Render a sweep as an aligned plain-text comparison table."""
-    return format_table(results_table(results), title=title)
+    """Render a sweep as an aligned plain-text comparison table.
+
+    When the sweep ran with ``verify=True`` the rows carry the per-design
+    functional-coverage columns and the report is suffixed with the
+    coverage summary line.
+    """
+    table = format_table(results_table(results), title=title)
+    if any(res.coverage_pct is not None for res in results):
+        table = f"{table}\n{coverage_summary(results)}"
+    return table
+
+
+def coverage_summary(results: Sequence[ExplorationResult]) -> str:
+    """One line summarising constrained-random coverage across a sweep."""
+    covered = [res for res in results if res.coverage_pct is not None]
+    if not covered:
+        return "functional coverage: not collected (sweep ran with verify=False)"
+    mean = sum(res.coverage_pct for res in covered) / len(covered)
+    flagged = sum(1 for res in covered if res.coverage_violations)
+    return (f"functional coverage: mean {mean:.1f}% over {len(covered)} "
+            f"point(s), {flagged} with protocol violations")
 
 
 def best_by(results: Sequence[ExplorationResult],

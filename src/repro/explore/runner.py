@@ -80,10 +80,15 @@ class ExplorationResult:
     fmax_mhz: float
     power_mw: float
     verified: bool
+    #: Functional-coverage percentage from the constrained-random
+    #: verification session (None when the sweep ran with ``verify=False``).
+    coverage_pct: Optional[float] = None
+    #: Number of protocol/scoreboard violations that session flagged.
+    coverage_violations: Optional[int] = None
 
     def row(self) -> Dict[str, object]:
         """One report-table row (stable column order)."""
-        return {
+        row = {
             "design": self.point.design,
             "binding": self.point.binding,
             "format": self.point.pixel_format,
@@ -98,11 +103,23 @@ class ExplorationResult:
             "power_mW": round(self.power_mw, 1),
             "ok": "yes" if self.verified else "NO",
         }
+        if self.coverage_pct is not None:
+            row["cov%"] = round(self.coverage_pct, 1)
+            row["cr_ok"] = "yes" if not self.coverage_violations else "NO"
+        return row
 
 
 def evaluate_point(point, strategy: str = AUTO,
-                   max_cycles: int = 2_000_000) -> ExplorationResult:
+                   max_cycles: int = 2_000_000, verify: bool = False,
+                   verify_seed: int = 0,
+                   verify_cycles: int = 1500) -> ExplorationResult:
     """Build, simulate, verify and characterise one design point.
+
+    With ``verify=True`` the point is additionally run through a
+    constrained-random :func:`repro.verify.session.verify` session (on a
+    fresh design instance, with its own seeded stimulus) and the result
+    carries the session's functional-coverage percentage and violation
+    count alongside the directed-test verdict.
 
     A module-level function so a ``multiprocessing`` pool can pickle it.
     """
@@ -116,6 +133,14 @@ def evaluate_point(point, strategy: str = AUTO,
     result = run_stream_through(design, frame, expected_outputs=len(golden),
                                 max_cycles=max_cycles, strategy=strategy)
     area = estimate_design(design)
+    coverage_pct = coverage_violations = None
+    if verify:
+        from ..verify.session import verify as run_verify
+
+        session = run_verify(build_design(point), seed=verify_seed,
+                             cycles=verify_cycles, strategy=strategy)
+        coverage_pct = session.coverage_percent
+        coverage_violations = len(session.violations)
     return ExplorationResult(
         point=point,
         cycles=result["cycles"],
@@ -127,6 +152,8 @@ def evaluate_point(point, strategy: str = AUTO,
         fmax_mhz=area.fmax_mhz,
         power_mw=estimate_power_mw(area),
         verified=result["pixels"] == golden,
+        coverage_pct=coverage_pct,
+        coverage_violations=coverage_violations,
     )
 
 
@@ -148,13 +175,19 @@ class ExplorationRunner:
     """
 
     def __init__(self, strategy: str = AUTO, processes: Optional[int] = None,
-                 max_cycles: int = 2_000_000) -> None:
+                 max_cycles: int = 2_000_000, verify: bool = False,
+                 verify_seed: int = 0, verify_cycles: int = 1500) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         resolve_strategy(strategy)  # validate eagerly
         self.strategy = strategy
         self.processes = processes
         self.max_cycles = max_cycles
+        #: When True, every evaluated point also runs a constrained-random
+        #: verification session and reports functional coverage.
+        self.verify = verify
+        self.verify_seed = verify_seed
+        self.verify_cycles = verify_cycles
         self._cache: Dict[Tuple, ExplorationResult] = {}
         #: Number of points served from the memo across all ``run`` calls.
         self.cache_hits = 0
@@ -166,9 +199,13 @@ class ExplorationRunner:
 
         Results from different settle strategies must never cross-contaminate
         the cache — they are supposed to be identical, but the cache is one
-        of the places that claim gets checked, not assumed.
+        of the places that claim gets checked, not assumed.  The
+        verification configuration is part of the key too: a result carrying
+        coverage must never be served for a ``verify=False`` sweep (or for a
+        different seed), and vice versa.
         """
-        return (point.key(), resolve_strategy(self.strategy))
+        return (point.key(), resolve_strategy(self.strategy),
+                self.verify, self.verify_seed, self.verify_cycles)
 
     def run(self, points: Sequence) -> List[ExplorationResult]:
         """Evaluate every point, returning results in the points' order.
@@ -191,7 +228,10 @@ class ExplorationRunner:
                 fresh = self._run_pool(todo)
             else:
                 fresh = [evaluate_point(point, strategy=self.strategy,
-                                        max_cycles=self.max_cycles)
+                                        max_cycles=self.max_cycles,
+                                        verify=self.verify,
+                                        verify_seed=self.verify_seed,
+                                        verify_cycles=self.verify_cycles)
                          for point in todo]
             for point, result in zip(todo, fresh):
                 cache[self._memo_key(point)] = result
@@ -203,4 +243,5 @@ class ExplorationRunner:
         with multiprocessing.Pool(self.processes) as pool:
             return pool.starmap(
                 evaluate_point,
-                [(point, self.strategy, self.max_cycles) for point in points])
+                [(point, self.strategy, self.max_cycles, self.verify,
+                  self.verify_seed, self.verify_cycles) for point in points])

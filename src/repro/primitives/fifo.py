@@ -11,6 +11,7 @@ push and pop are supported.
 from __future__ import annotations
 
 from ..rtl import Component, clog2
+from ..verify import mutate
 
 
 class SyncFIFO(Component):
@@ -63,7 +64,15 @@ class SyncFIFO(Component):
         self.total_pushed = 0
         self.total_popped = 0
 
-        @self.comb
+        # Mutation switches are latched at construction time (see
+        # repro.verify.mutate): the pristine processes below are registered
+        # byte-identical to the shipped behaviour unless a test enabled a
+        # fault, so the compiled backend's static analysis never sees the
+        # mutated variants in normal runs.
+        _drop_full_guard = mutate.enabled("fifo.drop_full_guard")
+        _pop_empty_guard = mutate.enabled("fifo.pop_empty_guard")
+        _stale_dout = mutate.enabled("fifo.stale_dout")
+
         def outputs() -> None:
             occ = self._occupancy.value
             self.empty.next = 1 if occ == 0 else 0
@@ -71,7 +80,16 @@ class SyncFIFO(Component):
             self.count.next = occ
             self.dout.next = self._mem[self._rd_ptr.value]
 
-        @self.seq
+        def outputs_stale() -> None:
+            # MUTATED (test-only): presents the element behind the head.
+            occ = self._occupancy.value
+            self.empty.next = 1 if occ == 0 else 0
+            self.full.next = 1 if occ == self.depth else 0
+            self.count.next = occ
+            self.dout.next = self._mem[(self._rd_ptr.value + 1) % self.depth]
+
+        self.comb(outputs_stale if _stale_dout else outputs)
+
         def update() -> None:
             occ = self._occupancy.value
             do_push = self.push.value and occ < self.depth
@@ -84,6 +102,23 @@ class SyncFIFO(Component):
                 self._rd_ptr.next = (self._rd_ptr.value + 1) % self.depth
                 self.total_popped += 1
             self._occupancy.next = occ + (1 if do_push else 0) - (1 if do_pop else 0)
+
+        def update_unguarded() -> None:
+            # MUTATED (test-only): the full/empty guards can be dropped.
+            occ = self._occupancy.value
+            do_push = self.push.value and (_drop_full_guard or occ < self.depth)
+            do_pop = self.pop.value and (_pop_empty_guard or occ > 0)
+            if do_push:
+                self._mem[self._wr_ptr.value] = self.din.value
+                self._wr_ptr.next = (self._wr_ptr.value + 1) % self.depth
+                self.total_pushed += 1
+            if do_pop:
+                self._rd_ptr.next = (self._rd_ptr.value + 1) % self.depth
+                self.total_popped += 1
+            self._occupancy.next = occ + (1 if do_push else 0) - (1 if do_pop else 0)
+
+        self.seq(update_unguarded if (_drop_full_guard or _pop_empty_guard)
+                 else update)
 
     # -- behavioural conveniences (for test benches) ---------------------------
 

@@ -10,6 +10,7 @@ element.
 from __future__ import annotations
 
 from ..rtl import Component, clog2
+from ..verify import mutate
 
 
 class SyncLIFO(Component):
@@ -51,13 +52,27 @@ class SyncLIFO(Component):
         self.total_pushed = 0
         self.total_popped = 0
 
-        @self.comb
+        # Construction-time mutation switch (see repro.verify.mutate): the
+        # pristine process stays byte-identical unless a test enabled it.
+        _reverse_order = mutate.enabled("lifo.reverse_order")
+
         def outputs() -> None:
             sp = self._sp.value
             self.empty.next = 1 if sp == 0 else 0
             self.full.next = 1 if sp == self.depth else 0
             self.count.next = sp
             self.dout.next = self._mem[sp - 1] if sp > 0 else 0
+
+        def outputs_reversed() -> None:
+            # MUTATED (test-only): presents the bottom of the stack (FIFO
+            # order) instead of the top.
+            sp = self._sp.value
+            self.empty.next = 1 if sp == 0 else 0
+            self.full.next = 1 if sp == self.depth else 0
+            self.count.next = sp
+            self.dout.next = self._mem[0] if sp > 0 else 0
+
+        self.comb(outputs_reversed if _reverse_order else outputs)
 
         @self.seq
         def update() -> None:

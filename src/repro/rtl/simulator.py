@@ -220,13 +220,33 @@ class Simulator:
         :class:`~.trace.VCDWriter` hook in).  Wrapped watchers
         (``functools.partial``, lambdas) that keep state must pass
         ``on_reset`` explicitly — introspection cannot find their owner.
+
+        Watchers are removable with :meth:`remove_watcher`, so tracers and
+        protocol monitors can detach cleanly when a simulator is reused.
         """
         self._watchers.append(func)
         if on_reset is None:
             owner = getattr(func, "__self__", None)
             on_reset = getattr(owner, "on_reset", None) if owner is not None else None
-        if on_reset is not None:
-            self._watcher_resets.append(on_reset)
+        # The reset-hook list is kept index-parallel to the watcher list
+        # (None for stateless watchers) so remove_watcher can drop both.
+        self._watcher_resets.append(on_reset)
+
+    def remove_watcher(self, func: Callable[[int], None]) -> None:
+        """Unregister a watcher (and its reset hook) added by :meth:`add_watcher`.
+
+        The argument is matched by equality, so passing a fresh reference
+        to the same bound method works.  Raises :class:`SimulationError`
+        when the watcher was never registered — a silent no-op would mask
+        double-detach bugs in tracers and monitors.
+        """
+        for index, registered in enumerate(self._watchers):
+            if registered == func:
+                del self._watchers[index]
+                del self._watcher_resets[index]
+                return
+        raise SimulationError(
+            f"cannot remove watcher {func!r}: it is not registered")
 
     # -- scheduler notifications (event strategy) --------------------------------
 
@@ -473,7 +493,8 @@ class Simulator:
             self._written = []
             self._dirty = True
         for hook in self._watcher_resets:
-            hook()
+            if hook is not None:
+                hook()
         self._settle()
 
 

@@ -26,7 +26,18 @@ class Recorder:
         self._signals = list(signals)
         self._names = [sig.name for sig in self._signals]
         self._rows: List[Dict[str, int]] = []
+        self._sim: Optional[Simulator] = sim
         sim.add_watcher(self._sample, on_reset=self.on_reset)
+
+    def detach(self) -> None:
+        """Stop sampling: unregister from the simulator (idempotent).
+
+        Recorded rows stay available; detaching lets the simulator be
+        reused without this recorder continuing to accumulate samples.
+        """
+        if self._sim is not None:
+            self._sim.remove_watcher(self._sample)
+            self._sim = None
 
     def _sample(self, cycle: int) -> None:
         row = {"cycle": cycle}
@@ -132,8 +143,13 @@ class VCDWriter:
         self._last = {sig: None for sig in self._signals}
 
     def close(self) -> None:
-        """Stop recording further cycles (the file object is not closed)."""
-        self._closed = True
+        """Stop recording and detach from the simulator (idempotent).
+
+        The file object is not closed — the caller owns it.
+        """
+        if not self._closed:
+            self._closed = True
+            self._sim.remove_watcher(self._on_cycle)
 
     def __enter__(self) -> "VCDWriter":
         return self

@@ -8,10 +8,11 @@ the intended way for non-synthesisable test benches to talk to a design.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .core.interfaces import IteratorIface, StreamSinkIface, StreamSourceIface
 from .rtl import SimulationError, Simulator
+from .verify.rng import SEED_ENV, stream as seeded_stream
 
 
 def stream_feed_and_drain(sim: Simulator, fill: StreamSinkIface,
@@ -158,3 +159,68 @@ def settle_condition(sim: Simulator, condition: Callable[[], bool],
                      max_cycles: int = 100_000) -> int:
     """Step until ``condition`` holds; return the number of cycles consumed."""
     return sim.run_until(condition, max_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Seeded randomized stimulus (reproducible via one integer)
+# ---------------------------------------------------------------------------
+
+
+def random_stream_schedule(seed: int, cycles: int, data_max: int = 255,
+                           push_rate: float = 0.7, pop_rate: float = 0.6,
+                           name: str = "testbench") -> List[Tuple[int, int, int]]:
+    """A pre-drawn per-cycle ``(push, data, pop)`` stimulus schedule.
+
+    All draws come from named :mod:`repro.verify.rng` streams of ``seed``,
+    so the schedule is a pure function of its arguments — the same seed
+    replays the identical stimulus under any settle strategy, which is
+    exactly what the randomized differential tests need.  Strobes are
+    drawn *blind* (they may assert while the DUT is not ready/valid);
+    guarded containers must tolerate that by construction.
+    """
+    push_rng = seeded_stream(seed, f"{name}.push")
+    pop_rng = seeded_stream(seed, f"{name}.pop")
+    data_rng = seeded_stream(seed, f"{name}.data")
+    return [
+        (1 if push_rng.random() < push_rate else 0,
+         data_rng.randint(0, data_max),
+         1 if pop_rng.random() < pop_rate else 0)
+        for _ in range(cycles)
+    ]
+
+
+def randomized_feed_and_drain(sim: Simulator, fill: StreamSinkIface,
+                              drain: StreamSourceIface, seed: int,
+                              cycles: int, data_max: int = 255,
+                              push_rate: float = 0.7, pop_rate: float = 0.6,
+                              name: str = "testbench"
+                              ) -> Tuple[List[int], List[int]]:
+    """Drive a seeded random schedule through a stream container.
+
+    Returns ``(accepted_inputs, received_outputs)``.  Any
+    :class:`SimulationError` raised mid-run is re-raised with the
+    reproducing ``REPRO_SEED`` assignment appended, so a failing
+    randomized test always prints the one integer needed to replay it.
+    """
+    schedule = random_stream_schedule(seed, cycles, data_max=data_max,
+                                      push_rate=push_rate, pop_rate=pop_rate,
+                                      name=name)
+    sent: List[int] = []
+    received: List[int] = []
+    try:
+        for push, data, pop in schedule:
+            fill.data.force(data)
+            fill.push.force(push)
+            drain.pop.force(pop)
+            sim.settle()
+            if push and fill.ready.value:
+                sent.append(data)
+            if pop and drain.valid.value:
+                received.append(drain.data.value)
+            sim.step()
+        fill.push.force(0)
+        drain.pop.force(0)
+    except SimulationError as error:
+        raise SimulationError(
+            f"{error} (reproduce with {SEED_ENV}={seed})") from error
+    return sent, received

@@ -1,0 +1,300 @@
+"""Golden Python reference models, checked transaction by transaction.
+
+Each model mirrors the *observable contract* of a container kind: what a
+correct DUT must present on its drain side given the sequence of accepted
+pushes and pops.  The protocol monitors feed models with accepted
+transactions and ask them what the DUT should currently be showing; a
+disagreement is a functional bug (or a seeded mutation).
+
+Ordering contracts:
+
+* ``FifoModel`` — strict first-in-first-out (read/write buffers, queues);
+* ``LifoModel`` — strict last-in-first-out (stack over the LIFO core, whose
+  visible top updates in the push cycle);
+* ``MultisetModel`` — conservation only: every popped element must have
+  been pushed and not yet popped.  Used for the stack-over-SRAM binding,
+  whose *visible* top lags pushes by the few cycles its FSM needs to spill
+  the previous top to external memory — order across a concurrent
+  push/pop race is defined by what the DUT displays, but data must never
+  be invented, duplicated or lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class StreamModel:
+    """Base reference model for stream (push/pop) containers."""
+
+    #: Ordering contract this model enforces.
+    order = "abstract"
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.pushed = 0
+        self.popped = 0
+
+    # -- transaction interface (called by monitors) ------------------------
+
+    def push(self, value: int) -> Optional[str]:
+        """Record an accepted push; returns an error string on overflow."""
+        raise NotImplementedError
+
+    def pop(self, value: int) -> Optional[str]:
+        """Record an accepted pop of ``value``; returns an error on mismatch."""
+        raise NotImplementedError
+
+    def front(self) -> Optional[int]:
+        """The value a correct DUT presents on its drain side (None = any)."""
+        raise NotImplementedError
+
+    @property
+    def occupancy(self) -> int:
+        raise NotImplementedError
+
+
+class FifoModel(StreamModel):
+    """Strict FIFO ordering over a bounded capacity."""
+
+    order = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._items: Deque[int] = deque()
+
+    def push(self, value: int) -> Optional[str]:
+        if len(self._items) >= self.capacity:
+            return (f"push of 0x{value:x} accepted while the model holds "
+                    f"{len(self._items)}/{self.capacity} elements")
+        self._items.append(value)
+        self.pushed += 1
+        return None
+
+    def pop(self, value: int) -> Optional[str]:
+        if not self._items:
+            return f"pop of 0x{value:x} accepted while the model is empty"
+        expected = self._items.popleft()
+        self.popped += 1
+        if value != expected:
+            return f"popped 0x{value:x}, expected head 0x{expected:x}"
+        return None
+
+    def front(self) -> Optional[int]:
+        return self._items[0] if self._items else None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+
+class LifoModel(StreamModel):
+    """Strict LIFO ordering over a bounded capacity.
+
+    Mirrors :class:`repro.primitives.SyncLIFO`'s concurrent push+pop rule:
+    both accepted in the same cycle replace the top element in place.
+    """
+
+    order = "lifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._items: List[int] = []
+
+    def push(self, value: int) -> Optional[str]:
+        if len(self._items) >= self.capacity:
+            return (f"push of 0x{value:x} accepted while the model holds "
+                    f"{len(self._items)}/{self.capacity} elements")
+        self._items.append(value)
+        self.pushed += 1
+        return None
+
+    def pop(self, value: int) -> Optional[str]:
+        if not self._items:
+            return f"pop of 0x{value:x} accepted while the model is empty"
+        expected = self._items.pop()
+        self.popped += 1
+        if value != expected:
+            return f"popped 0x{value:x}, expected top 0x{expected:x}"
+        return None
+
+    def replace_top(self, value: int) -> Optional[str]:
+        """Concurrent push+pop: the popped top is replaced by the new value."""
+        if not self._items:
+            return f"push+pop of 0x{value:x} accepted while the model is empty"
+        self._items[-1] = value
+        self.pushed += 1
+        self.popped += 1
+        return None
+
+    def front(self) -> Optional[int]:
+        return self._items[-1] if self._items else None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+
+class MultisetModel(StreamModel):
+    """Conservation-only contract: popped values must have been pushed."""
+
+    order = "multiset"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._counts: Dict[int, int] = {}
+        self._size = 0
+
+    def push(self, value: int) -> Optional[str]:
+        if self._size >= self.capacity:
+            return (f"push of 0x{value:x} accepted while the model holds "
+                    f"{self._size}/{self.capacity} elements")
+        self._counts[value] = self._counts.get(value, 0) + 1
+        self._size += 1
+        self.pushed += 1
+        return None
+
+    def pop(self, value: int) -> Optional[str]:
+        held = self._counts.get(value, 0)
+        if not held:
+            return (f"popped 0x{value:x}, which was never pushed (or already "
+                    f"popped)")
+        if held == 1:
+            del self._counts[value]
+        else:
+            self._counts[value] = held - 1
+        self._size -= 1
+        self.popped += 1
+        return None
+
+    def front(self) -> Optional[int]:
+        return None  # any held value may be visible
+
+    @property
+    def occupancy(self) -> int:
+        return self._size
+
+
+class VectorModel:
+    """Reference for random-access vectors: a plain array of words."""
+
+    def __init__(self, capacity: int, width: int) -> None:
+        self.capacity = capacity
+        self.mask = (1 << width) - 1
+        self.words = [0] * capacity
+        self.reads = 0
+        self.writes = 0
+
+    def write(self, addr: int, value: int) -> None:
+        self.words[addr % self.capacity] = value & self.mask
+        self.writes += 1
+
+    def read(self, addr: int, value: int) -> Optional[str]:
+        """Check a completed read; returns an error string on mismatch."""
+        expected = self.words[addr % self.capacity]
+        self.reads += 1
+        if value != expected:
+            return (f"read of word {addr} returned 0x{value:x}, "
+                    f"expected 0x{expected:x}")
+        return None
+
+
+class AssocModel:
+    """Reference for the associative array (CAM binding semantics).
+
+    Inserting an existing key updates it in place; inserting a new key when
+    full is silently dropped (no free entry); removing an absent key is a
+    no-op.  These mirror :class:`ContentAddressableMemory`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: Dict[int, int] = {}
+
+    def insert(self, key: int, value: int) -> str:
+        """Apply an insert; returns which kind it was for coverage."""
+        if key in self.entries:
+            self.entries[key] = value
+            return "update"
+        if len(self.entries) >= self.capacity:
+            return "dropped"
+        self.entries[key] = value
+        return "new"
+
+    def remove(self, key: int) -> bool:
+        """Apply a remove; True if the key was present."""
+        return self.entries.pop(key, None) is not None
+
+    def lookup(self, key: int, found: int, value: int) -> Optional[str]:
+        """Check a completed lookup; returns an error string on mismatch."""
+        if key in self.entries:
+            if not found:
+                return f"lookup of key 0x{key:x} missed a stored entry"
+            expected = self.entries[key]
+            if value != expected:
+                return (f"lookup of key 0x{key:x} returned 0x{value:x}, "
+                        f"expected 0x{expected:x}")
+        elif found:
+            return f"lookup of absent key 0x{key:x} reported a hit"
+        return None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+
+class ExpectedStreamModel:
+    """Reference for whole pipelines: outputs must match a golden stream.
+
+    Built from the design's golden model (identity for the copy pipeline,
+    interior 3x3 means for the blur pipeline); every pixel the sink accepts
+    is compared against the next element of the expected sequence.
+    """
+
+    def __init__(self, expected: List[int]) -> None:
+        self.expected = list(expected)
+        self.index = 0
+
+    def pop(self, value: int) -> Optional[str]:
+        if self.index >= len(self.expected):
+            return (f"output 0x{value:x} received after the expected "
+                    f"{len(self.expected)} outputs were all delivered")
+        want = self.expected[self.index]
+        self.index += 1
+        if value != want:
+            return (f"output #{self.index - 1} was 0x{value:x}, "
+                    f"expected 0x{want:x}")
+        return None
+
+
+class LineBufferModel:
+    """Reference for the 3-line-buffer read buffer's window protocol.
+
+    Pixels enter in raster order; after the two warm-up lines, the column
+    presented at the *k*-th accepted window pop must be the pixels at
+    stream positions ``k`` (top), ``k + W`` (mid) and ``k + 2W`` (bottom),
+    where ``W`` is the line width.
+    """
+
+    def __init__(self, line_width: int) -> None:
+        self.line_width = line_width
+        self.pixels: List[int] = []
+        self.pops = 0
+
+    def push(self, value: int) -> None:
+        self.pixels.append(value)
+
+    def pop_column(self, top: int, mid: int, bot: int) -> Optional[str]:
+        k = self.pops
+        w = self.line_width
+        if k + 2 * w >= len(self.pixels):
+            return (f"window pop #{k} accepted before pixel {k + 2 * w} "
+                    f"was pushed (only {len(self.pixels)} pushed)")
+        want = (self.pixels[k], self.pixels[k + w], self.pixels[k + 2 * w])
+        self.pops += 1
+        if (top, mid, bot) != want:
+            return (f"window pop #{k} presented column "
+                    f"({top:#x}, {mid:#x}, {bot:#x}), expected "
+                    f"({want[0]:#x}, {want[1]:#x}, {want[2]:#x})")
+        return None

@@ -8,10 +8,10 @@ against which the simulated hardware output is checked.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, List
 
 from ..core.algorithms.blur import blur_kernel
+from ..verify.rng import stream as _named_stream
 
 Frame = List[List[int]]
 
@@ -31,8 +31,14 @@ def checkerboard_frame(width: int, height: int, tile: int = 4,
 
 def random_frame(width: int, height: int, seed: int = 0,
                  max_value: int = 255) -> Frame:
-    """A reproducible pseudo-random frame (seeded, so tests are deterministic)."""
-    rng = random.Random(seed)
+    """A reproducible pseudo-random frame.
+
+    Pixels come from the named ``"video.frames"`` stream of
+    :mod:`repro.verify.rng`, so the content is a pure function of ``seed``
+    and immune to draws made anywhere else in the process — a failure
+    report only ever needs to quote the seed.
+    """
+    rng = _named_stream(seed, "video.frames")
     return [[rng.randint(0, max_value) for _ in range(width)] for _ in range(height)]
 
 

@@ -9,6 +9,7 @@ from repro.explore import (
     ExplorationRunner,
     best_by,
     comparison_report,
+    coverage_summary,
     expand_grid,
     is_valid_point,
     resolve_strategy,
@@ -216,3 +217,46 @@ def test_memo_treats_auto_and_compiled_as_the_same_key():
     runner.run(points)
     assert runner.evaluations == len(points)
     assert runner.cache_hits == len(points)
+
+
+# -- constrained-random verification in sweeps --------------------------------
+
+
+def test_sweep_with_verify_reports_coverage():
+    points = expand_grid(**SMALL_GRID)
+    runner = ExplorationRunner(verify=True, verify_cycles=1200)
+    results = runner.run(points)
+    for res in results:
+        assert res.coverage_pct is not None
+        assert res.coverage_pct > 0
+        assert res.coverage_violations == 0, \
+            f"{res.point}: constrained-random session flagged violations"
+        assert "cov%" in res.row()
+        assert res.row()["cr_ok"] == "yes"
+    report = comparison_report(results)
+    assert "cov%" in report
+    assert "functional coverage" in report
+
+
+def test_verify_flag_partitions_the_memo():
+    points = expand_grid(**SMALL_GRID)[:1]
+    plain = ExplorationRunner()
+    checked = ExplorationRunner(verify=True, verify_cycles=800)
+    assert plain.run(points)[0].coverage_pct is None
+    assert checked.run(points)[0].coverage_pct is not None
+    # Same runner, same config: second run is served from the memo.
+    checked.run(points)
+    assert checked.evaluations == 1
+    assert checked.cache_hits == 1
+    # Different seed means a different memo key, hence a re-evaluation.
+    reseeded = ExplorationRunner(verify=True, verify_cycles=800,
+                                 verify_seed=5)
+    reseeded.run(points)
+    assert reseeded.evaluations == 1
+
+
+def test_plain_sweep_rows_omit_coverage_columns():
+    points = expand_grid(**SMALL_GRID)[:1]
+    res = ExplorationRunner().run(points)[0]
+    assert "cov%" not in res.row()
+    assert "functional coverage: not collected" in coverage_summary([res])

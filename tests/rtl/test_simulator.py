@@ -194,3 +194,54 @@ def test_both_comb_decorator_forms_register():
     sim.settle()
     assert both.y.value == 6
     assert both.z.value == 7
+
+
+def test_remove_watcher_stops_callbacks_and_reset_hooks():
+    counter = Counter()
+    sim = Simulator(counter)
+    seen = []
+    resets = []
+    sim.add_watcher(seen.append, on_reset=lambda: resets.append(True))
+    sim.step(2)
+    sim.remove_watcher(seen.append)
+    sim.step(3)
+    assert seen == [1, 2], "removed watcher must not fire"
+    sim.reset()
+    assert resets == [], "removed watcher's reset hook must not fire"
+
+
+def test_remove_watcher_matches_bound_methods_by_equality():
+    class Sampler:
+        def __init__(self):
+            self.cycles = []
+
+        def sample(self, cycle):
+            self.cycles.append(cycle)
+
+    counter = Counter()
+    sim = Simulator(counter)
+    sampler = Sampler()
+    sim.add_watcher(sampler.sample)
+    sim.step(1)
+    # A *fresh* bound-method reference compares equal and removes it.
+    sim.remove_watcher(sampler.sample)
+    sim.step(2)
+    assert sampler.cycles == [1]
+
+
+def test_remove_watcher_unknown_callable_raises():
+    sim = Simulator(Counter())
+    with pytest.raises(SimulationError):
+        sim.remove_watcher(lambda cycle: None)
+
+
+def test_watchers_do_not_leak_across_add_remove_cycles():
+    counter = Counter()
+    sim = Simulator(counter)
+    for _ in range(5):
+        seen = []
+        sim.add_watcher(seen.append, on_reset=seen.clear)
+        sim.step(1)
+        sim.remove_watcher(seen.append)
+    assert sim._watchers == []
+    assert sim._watcher_resets == []

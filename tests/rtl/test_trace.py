@@ -62,3 +62,28 @@ def test_vcd_writer_stops_after_close():
     writer.close()
     sim.step(5)
     assert len(output.getvalue()) == size_before
+
+
+def test_recorder_detach_stops_sampling_and_keeps_rows():
+    design = Ramp()
+    sim = Simulator(design)
+    recorder = Recorder(sim, [design.value])
+    sim.step(3)
+    recorder.detach()
+    sim.step(4)
+    assert recorder.series("value") == [1, 2, 3]
+    recorder.detach()  # idempotent
+    # A detached recorder no longer reacts to reset either.
+    sim.reset()
+    assert recorder.series("value") == [1, 2, 3]
+
+
+def test_vcd_close_detaches_watcher_from_simulator():
+    design = Ramp()
+    sim = Simulator(design)
+    output = io.StringIO()
+    writer = VCDWriter(sim, design, output, signals=[design.value])
+    watchers_with_writer = len(sim._watchers)
+    writer.close()
+    assert len(sim._watchers) == watchers_with_writer - 1
+    writer.close()  # second close is a no-op

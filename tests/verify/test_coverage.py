@@ -1,0 +1,92 @@
+"""Covergroups: bins, crosses, merging, JSON round-trip."""
+
+import pytest
+
+from repro.verify.coverage import CoverageDB, CoverageError, CoverGroup
+
+
+def make_group():
+    group = CoverGroup("g")
+    group.point("op", {"push": "push", "pop": "pop"})
+    group.point("occ", {"empty": 0, "mid": (1, 3), "full": 4,
+                        "odd": lambda v: isinstance(v, int) and v % 2 == 1})
+    group.cross("op_x_occ", ("op", "occ"), [("push", "empty"),
+                                            ("pop", "full")])
+    return group
+
+
+def test_bins_match_exact_range_and_predicate():
+    group = make_group()
+    group.sample(op="push", occ=0)
+    group.sample(op="pop", occ=2)
+    occ = group.points["occ"]
+    assert occ.bins["empty"].hits == 1
+    assert occ.bins["mid"].hits == 1
+    assert occ.bins["full"].hits == 0
+    assert occ.unhit() == ["full", "odd"]
+
+
+def test_cross_fires_only_on_declared_combos_sampled_together():
+    group = make_group()
+    group.sample(op="push", occ=0)      # declared combo
+    group.sample(op="push", occ=4)      # undeclared combo -> ignored
+    group.sample(op="pop")              # occ missing -> no cross sample
+    cross = group.crosses["op_x_occ"]
+    assert cross.combos[("push", "empty")] == 1
+    assert cross.combos[("pop", "full")] == 0
+
+
+def test_percent_and_unhit_track_points_and_crosses():
+    group = make_group()
+    assert group.percent == 0.0
+    group.sample(op="push", occ=0)
+    # 6 bins + 2 combos = 8 goals; hit: push, empty, (push x empty) = 3.
+    assert group.goal_count == 8
+    assert group.hit_count == 3
+    assert group.percent == pytest.approx(100.0 * 3 / 8)
+    assert "g.op_x_occ.popxfull" in group.unhit()
+
+
+def test_merge_dict_accumulates_and_rejects_mismatches():
+    a, b = make_group(), make_group()
+    a.sample(op="push", occ=0)
+    b.sample(op="push", occ=4)
+    a.merge_dict(b.to_dict())
+    assert a.points["op"].bins["push"].hits == 2
+    assert a.points["occ"].bins["full"].hits == 1
+    with pytest.raises(CoverageError):
+        a.merge_dict({"name": "other"})
+
+
+def test_db_merges_across_runs_and_round_trips_json():
+    db = CoverageDB()
+    first, second = make_group(), make_group()
+    first.sample(op="push", occ=0)
+    second.sample(op="pop", occ=4)
+    db.add(first)
+    db.add(second)
+    # Merged: push, pop, empty, full, both combos hit -> 7/8 (odd unhit...
+    # occ=0 is even, occ=4 is even, so 'odd' stays unhit; mid unhit too).
+    assert db.percent("g") == pytest.approx(100.0 * 6 / 8)
+    restored = CoverageDB.from_json(db.to_json())
+    assert restored.percent("g") == db.percent("g")
+    assert restored.unhit() == db.unhit()
+    assert "g.occ.odd" in restored.unhit()
+
+
+def test_db_report_mentions_unhit_goals():
+    db = CoverageDB()
+    group = make_group()
+    group.sample(op="push", occ=0)
+    db.add(group)
+    text = db.report()
+    assert "g:" in text
+    assert "unhit" in text
+
+
+def test_duplicate_declarations_rejected():
+    group = make_group()
+    with pytest.raises(CoverageError):
+        group.point("op", {"x": 1})
+    with pytest.raises(CoverageError):
+        group.cross("again", ("op", "missing"), [("push", "x")])
