@@ -29,6 +29,10 @@ FLOORS = [
     ("saa2vga_fifo", "compiled", "fixpoint", 2.0),
     ("saa2vga_fifo", "compiled", "event", 1.2),
     ("blur_pattern", "compiled", "fixpoint", 1.5),
+    # Elaborated pipeline graph (repro.flow): the many small bridge
+    # processes of the graph shell must keep dissolving into the compiled
+    # settle function (mirrors test_pipeline_compiled_speedup_over_fixpoint).
+    ("pipeline_dualpath", "compiled", "fixpoint", 1.5),
 ]
 
 

@@ -12,6 +12,14 @@ from .blur import BlurPatternDesign, build_blur_pattern
 from .custom import BlurCustomDesign, Saa2VgaCustomFIFO, Saa2VgaCustomSRAM
 from .saa2vga import Saa2VgaPatternDesign, build_saa2vga_pattern
 from .system import VideoSystem, run_stream_through
+from .pipelines import (
+    HistogramStage,
+    build_blur_histogram_pipeline,
+    build_copy_chain,
+    build_dual_path_saa2vga,
+    build_join_funnel,
+    build_rgb_over_bus_pipeline,
+)
 
 __all__ = [
     "Saa2VgaPatternDesign",
@@ -23,4 +31,10 @@ __all__ = [
     "BlurCustomDesign",
     "VideoSystem",
     "run_stream_through",
+    "HistogramStage",
+    "build_blur_histogram_pipeline",
+    "build_copy_chain",
+    "build_dual_path_saa2vga",
+    "build_join_funnel",
+    "build_rgb_over_bus_pipeline",
 ]

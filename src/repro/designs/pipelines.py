@@ -1,0 +1,206 @@
+"""Graph-composed pipeline scenarios: the `repro.flow` subsystem end to end.
+
+Where :mod:`repro.designs.saa2vga` and :mod:`repro.designs.blur` each wire
+*one* design between a source and a sink, the builders here compose several
+of those designs — plus structural fork/split/merge/join nodes and
+auto-inserted width adapters — into multi-stage streaming systems, all
+through the declarative :class:`~repro.flow.PipelineGraph` API:
+
+* :func:`build_blur_histogram_pipeline` — blur filter whose output is
+  broadcast (``Fork``) to the video output *and* to a histogram statistics
+  stage built from a vector container and a random iterator;
+* :func:`build_dual_path_saa2vga` — the copy pipeline split over two
+  parallel paths (``RoundRobinSplit``/``RoundRobinMerge``), round-tripping
+  frames bit-exact;
+* :func:`build_rgb_over_bus_pipeline` — 24-bit RGB pixels carried over an
+  8-bit shared bus: the scenario declares only 24-bit endpoints and an
+  8-bit copy core, and the elaborator inserts the down/up width converters
+  automatically (Section 3.3, "requiring no designer intervention");
+* :func:`build_copy_chain` — an N-stage copy chain, the sweepable
+  "pipeline depth" axis of :mod:`repro.flow.sweep`;
+* :func:`build_join_funnel` — split/merge through an arbiter-based
+  ``Join``, for order-insensitive consumers.
+
+Every builder returns an elaborated :class:`~repro.flow.Pipeline`, which
+exposes ``input_fill``/``output_drain`` and therefore drops into
+``VideoSystem``, ``run_stream_through``, ``repro.verify`` and
+``repro.explore`` like any single design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import make_container, make_iterator
+from ..core.algorithms import HistogramAlgorithm, golden_histogram
+from ..flow import Pipeline, PipelineGraph
+from ..rtl import Component
+from .blur import BlurPatternDesign
+from .saa2vga import Saa2VgaPatternDesign
+
+
+class HistogramStage(Component):
+    """Stream-statistics sink stage: histogram of every element it consumes.
+
+    A pure *consumer* stage (an input stream port, no output): elements
+    enter a read buffer, a forward iterator hands them to the
+    :class:`~repro.core.algorithms.HistogramAlgorithm`, and the bin counts
+    accumulate in a vector container accessed through a random iterator —
+    the same pattern-library composition as the shipped designs.
+    """
+
+    style = "pattern"
+    binding = "fifo"
+
+    def __init__(self, name: str = "hist", width: int = 8, num_bins: int = 16,
+                 capacity: int = 8, max_count: int = 1_000_000,
+                 count_width: int = 16) -> None:
+        super().__init__(name)
+        self.width = width
+        self.num_bins = num_bins
+        self.rbuffer = self.child(make_container(
+            "read_buffer", "fifo", "rbuffer", width=width, capacity=capacity))
+        self.rbuffer_it = self.child(make_iterator(
+            self.rbuffer, "forward", readable=True, name="rbuffer_it"))
+        self.bins = self.child(make_container(
+            "vector", "bram", "bins", width=count_width, capacity=num_bins))
+        self.bins_it = self.child(make_iterator(
+            self.bins, "random", readable=True, writable=True, name="bins_it"))
+        self.algorithm = self.child(HistogramAlgorithm(
+            "hist_alg", self.rbuffer_it, self.bins_it, num_bins=num_bins,
+            sample_width=width, max_count=max_count))
+
+        #: The stage's only stream port: elements to be counted.
+        self.input_fill = self.rbuffer.fill
+
+    @property
+    def samples_counted(self) -> int:
+        """Number of elements folded into the histogram so far."""
+        return self.algorithm.elements_processed
+
+    def counts(self) -> List[int]:
+        """Current bin counts (bin 0 first)."""
+        return self.bins.snapshot()
+
+    def expected_counts(self, samples: List[int]) -> List[int]:
+        """Golden model: the histogram of ``samples``."""
+        return golden_histogram(samples, self.num_bins, self.width)
+
+
+def build_blur_histogram_pipeline(name: str = "blurhist", line_width: int = 16,
+                                  width: int = 8, num_bins: int = 16,
+                                  fifo_depth: int = 4,
+                                  hist_budget: int = 1_000_000) -> Pipeline:
+    """Blur -> Fork -> (video output, histogram statistics stage).
+
+    The blurred stream is broadcast: one copy leaves the pipeline as the
+    output frame, the other accumulates into the histogram stage, which is
+    reachable afterwards as ``pipeline.find("hist")``.  ``hist_budget``
+    bounds how many samples the statistics stage will consume (keep it at
+    least as large as the number of blurred pixels, or the fork will
+    back-pressure the video path once the budget is spent).
+    """
+    blur = BlurPatternDesign(name="blur", line_width=line_width, width=width,
+                             out_capacity=fifo_depth * 2)
+    hist = HistogramStage("hist", width=width, num_bins=num_bins,
+                          capacity=fifo_depth * 2, max_count=hist_budget)
+    graph = PipelineGraph(name, input_width=width, output_width=width)
+    blur_node = graph.stage(blur)
+    fork = graph.fork("fork", width=width, ways=2)
+    hist_node = graph.stage(hist)
+    graph.connect(graph.INPUT, blur_node, depth=0)
+    graph.connect(blur_node, fork, depth=fifo_depth)
+    graph.connect(fork, graph.OUTPUT, depth=fifo_depth, src_port="out0")
+    graph.connect(fork, hist_node, depth=fifo_depth, src_port="out1")
+    graph.golden(blur.expected_output)
+    return graph.elaborate()
+
+
+def build_dual_path_saa2vga(name: str = "dualpath", width: int = 8,
+                            capacity: int = 8, fifo_depth: int = 4,
+                            binding: str = "fifo") -> Pipeline:
+    """Split/merge dual-path copy pipeline, bit-exact end to end.
+
+    Elements alternate between two independent saa2vga copy designs and are
+    recollected in the same rotation, so the output stream equals the input
+    stream exactly — whatever back-pressure either path sees.
+    """
+    graph = PipelineGraph(name, input_width=width, output_width=width)
+    split = graph.split("split", width=width, ways=2)
+    path_a = graph.stage(Saa2VgaPatternDesign(
+        name="path_a", binding=binding, width=width, capacity=capacity))
+    path_b = graph.stage(Saa2VgaPatternDesign(
+        name="path_b", binding=binding, width=width, capacity=capacity))
+    merge = graph.merge("merge", width=width, ways=2)
+    graph.connect(graph.INPUT, split, depth=0)
+    graph.connect(split, path_a, depth=fifo_depth)
+    graph.connect(split, path_b, depth=fifo_depth)
+    graph.connect(path_a, merge, depth=fifo_depth)
+    graph.connect(path_b, merge, depth=fifo_depth)
+    graph.connect(merge, graph.OUTPUT, depth=0)
+    graph.golden(lambda pixels: list(pixels))
+    return graph.elaborate()
+
+
+def build_rgb_over_bus_pipeline(name: str = "rgbbus", pixel_width: int = 24,
+                                bus_width: int = 8, capacity: int = 8,
+                                fifo_depth: int = 4) -> Pipeline:
+    """24-bit RGB pixels over an ``bus_width``-bit shared bus, bit-exact.
+
+    The scenario instantiates **no** converter: it declares 24-bit pipeline
+    endpoints and an 8-bit copy core, and the elaborator inserts the
+    :class:`~repro.metagen.width_adapter.WidthDownConverter` /
+    :class:`~repro.metagen.width_adapter.WidthUpConverter` pair (3 beats per
+    pixel for 24 over 8) from the metagen adaptation plan on its own.
+    """
+    graph = PipelineGraph(name, input_width=pixel_width,
+                          output_width=pixel_width)
+    core = graph.stage(Saa2VgaPatternDesign(
+        name="bus_copy", binding="fifo", width=bus_width, capacity=capacity))
+    graph.connect(graph.INPUT, core, depth=fifo_depth)
+    graph.connect(core, graph.OUTPUT, depth=fifo_depth)
+    graph.golden(lambda pixels: list(pixels))
+    return graph.elaborate()
+
+
+def build_copy_chain(stages: int, name: Optional[str] = None, width: int = 8,
+                     capacity: int = 8, fifo_depth: int = 4) -> Pipeline:
+    """An N-deep chain of copy stages — the sweepable pipeline-depth axis."""
+    if stages < 1:
+        raise ValueError(f"a copy chain needs at least 1 stage, got {stages}")
+    graph = PipelineGraph(name or f"chain{stages}", input_width=width,
+                          output_width=width)
+    nodes = [graph.stage(Saa2VgaPatternDesign(
+        name=f"stage{i}", binding="fifo", width=width, capacity=capacity))
+        for i in range(stages)]
+    graph.connect(graph.INPUT, nodes[0], depth=0)
+    for left, right in zip(nodes, nodes[1:]):
+        graph.connect(left, right, depth=fifo_depth)
+    graph.connect(nodes[-1], graph.OUTPUT, depth=0)
+    graph.golden(lambda pixels: list(pixels))
+    return graph.elaborate()
+
+
+def build_join_funnel(name: str = "funnel", width: int = 8, capacity: int = 8,
+                      fifo_depth: int = 4, policy: str = "roundrobin") -> Pipeline:
+    """Split over two paths, recombined through an arbiter-based ``Join``.
+
+    The join funnels whichever path has data (subject to the arbitration
+    policy), so the output is a *permutation* of the input — the right
+    merge for order-insensitive consumers.  No golden stream model is
+    registered; callers check multiset equality instead.
+    """
+    graph = PipelineGraph(name, input_width=width, output_width=width)
+    split = graph.split("split", width=width, ways=2)
+    path_a = graph.stage(Saa2VgaPatternDesign(
+        name="path_a", binding="fifo", width=width, capacity=capacity))
+    path_b = graph.stage(Saa2VgaPatternDesign(
+        name="path_b", binding="fifo", width=width, capacity=capacity))
+    join = graph.join("join", width=width, ways=2, policy=policy)
+    graph.connect(graph.INPUT, split, depth=0)
+    graph.connect(split, path_a, depth=fifo_depth)
+    graph.connect(split, path_b, depth=fifo_depth)
+    graph.connect(path_a, join, depth=fifo_depth)
+    graph.connect(path_b, join, depth=fifo_depth)
+    graph.connect(join, graph.OUTPUT, depth=0)
+    return graph.elaborate()

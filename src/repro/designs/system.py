@@ -40,12 +40,53 @@ class VideoSystem(Component):
             raise TypeError(
                 f"design {design.name!r} does not expose input_fill/output_drain "
                 f"interfaces and cannot be placed in a VideoSystem")
+        if source_stall < 0:
+            raise ValueError(
+                f"source_stall must be >= 0, got {source_stall}")
+        if sink_stall < 0:
+            raise ValueError(
+                f"sink_stall must be >= 0, got {sink_stall}")
         self.design = self.child(design)
         self.source = self.child(VideoStreamSource(
             f"{name}_source", design.input_fill, frames=frames,
             stall_period=source_stall))
         self.sink = self.child(VideoStreamSink(
             f"{name}_sink", design.output_drain, stall_period=sink_stall))
+
+    # -- flow-graph equivalence --------------------------------------------------------
+
+    @staticmethod
+    def flow_graph(design: Component, name: str = "system"):
+        """The legacy harness wiring as a two-edge pipeline graph.
+
+        ``VideoSystem`` historically wired source -> design -> sink by
+        hand; expressed through :mod:`repro.flow` it is simply a graph with
+        one stage and two depth-0 (wire) edges.  The elaborated pipeline is
+        cycle-identical to wrapping ``design`` directly, which
+        ``tests/flow/test_elaborate.py`` proves — the legacy harness is a
+        special case of the composition subsystem, not a parallel code
+        path.
+        """
+        from ..flow import PipelineGraph
+
+        graph = PipelineGraph(name)
+        node = graph.stage(design)
+        graph.connect(graph.INPUT, node, depth=0)
+        graph.connect(node, graph.OUTPUT, depth=0)
+        expected = getattr(design, "expected_output", None)
+        if expected is not None:
+            graph.golden(expected)
+        return graph
+
+    @classmethod
+    def via_flow(cls, design: Component,
+                 frames: Optional[Sequence[Frame]] = None,
+                 name: str = "system", source_stall: int = 0,
+                 sink_stall: int = 0) -> "VideoSystem":
+        """Build the harness through the flow subsystem (same behaviour)."""
+        pipeline = cls.flow_graph(design, name=f"{name}_flow").elaborate()
+        return cls(pipeline, frames=frames, name=name,
+                   source_stall=source_stall, sink_stall=sink_stall)
 
     # -- simulation helpers ----------------------------------------------------------
 

@@ -32,11 +32,24 @@ from .runner import (
     resolve_strategy,
 )
 
+# Pipeline-composition axes (imported last: flow.sweep reaches back into
+# repro.explore.runner lazily, so the runner must already be initialised).
+from ..flow.sweep import (
+    PIPELINE_TOPOLOGIES,
+    PipelinePoint,
+    expand_pipeline_grid,
+    is_valid_pipeline_point,
+)
+
 __all__ = [
     "AUTO",
     "DesignPoint",
     "expand_grid",
     "is_valid_point",
+    "PipelinePoint",
+    "PIPELINE_TOPOLOGIES",
+    "expand_pipeline_grid",
+    "is_valid_pipeline_point",
     "ExplorationResult",
     "ExplorationRunner",
     "evaluate_point",

@@ -1,0 +1,221 @@
+"""Command-line entry: ``python -m repro.explore``.
+
+Mirrors ``python -m repro.verify``: a sweep is runnable straight from the
+shell, no script required.  The grid comes from CLI axis flags, from a
+JSON spec file (``--grid``), or both (CLI flags override the file); the
+report goes to stdout in the Table-3 style and, with ``--json``, to a
+machine-readable artifact.  Exit status is non-zero when any evaluated
+point fails functional verification (or a ``--verify`` session flags
+protocol violations), so CI can gate on a sweep.
+
+Examples::
+
+    python -m repro.explore --designs saa2vga --bindings fifo sram \
+        --capacities 16 32
+    python -m repro.explore --pipelines chain --stages 1 2 4 \
+        --fifo-depths 2 8 --verify
+    python -m repro.explore --grid sweep.json --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .grid import expand_grid
+from .report import comparison_report, coverage_summary, results_table
+from .runner import AUTO, ExplorationRunner
+
+
+def _parse_frames(specs: Sequence) -> List[Tuple[int, int]]:
+    """``16x12`` strings (or [w, h] pairs from JSON) -> (width, height)."""
+    frames = []
+    for spec in specs:
+        if isinstance(spec, str):
+            try:
+                width, height = spec.lower().split("x")
+                frames.append((int(width), int(height)))
+            except ValueError:
+                raise SystemExit(
+                    f"bad frame spec {spec!r}: expected WIDTHxHEIGHT") from None
+        else:
+            width, height = spec
+            frames.append((int(width), int(height)))
+    return frames
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Batched design-space exploration of the pattern library.")
+    grid = parser.add_argument_group("design grid axes")
+    grid.add_argument("--designs", nargs="+", default=None,
+                      metavar="NAME", help="design families (saa2vga, blur)")
+    grid.add_argument("--bindings", nargs="+", default=None, metavar="NAME",
+                      help="container bindings (default: all supported)")
+    grid.add_argument("--formats", nargs="+", default=None, metavar="FMT",
+                      help="pixel formats (gray8, rgb24, rgb565)")
+    grid.add_argument("--frames", nargs="+", default=None, metavar="WxH",
+                      help="stimulus frame sizes, e.g. 16x12")
+    grid.add_argument("--capacities", nargs="+", type=int, default=None,
+                      metavar="N", help="container capacities")
+
+    pipe = parser.add_argument_group(
+        "pipeline-composition axes (repro.flow)")
+    pipe.add_argument("--pipelines", nargs="+", default=None, metavar="TOPO",
+                      help="pipeline topologies (chain, dualpath, rgbbus)")
+    pipe.add_argument("--stages", nargs="+", type=int, default=None,
+                      metavar="N", help="pipeline depths for the chain topology")
+    pipe.add_argument("--fifo-depths", nargs="+", type=int, default=None,
+                      metavar="N", help="elastic edge FIFO depths")
+    pipe.add_argument("--bus-widths", nargs="+", type=int, default=None,
+                      metavar="BITS", help="stage/shared-bus element widths")
+
+    run = parser.add_argument_group("execution")
+    run.add_argument("--grid", metavar="PATH", default=None,
+                     help="JSON grid spec file (CLI axis flags override it)")
+    run.add_argument("--strategy", default=AUTO,
+                     choices=(AUTO, "event", "fixpoint", "compiled"))
+    run.add_argument("--processes", type=int, default=None, metavar="N",
+                     help="fan uncached points over a process pool")
+    run.add_argument("--max-cycles", type=int, default=2_000_000)
+    run.add_argument("--verify", action="store_true",
+                     help="also run a constrained-random verification "
+                          "session per point (adds cov%% / cr_ok columns)")
+    run.add_argument("--verify-seed", type=int, default=0)
+    run.add_argument("--verify-cycles", type=int, default=1500)
+
+    out = parser.add_argument_group("output")
+    out.add_argument("--title", default="Design-space exploration.")
+    out.add_argument("--json", metavar="PATH", default=None,
+                     help="write result rows (and the coverage summary) here")
+    out.add_argument("--quiet", action="store_true",
+                     help="suppress the stdout table (exit status still set)")
+    return parser
+
+
+def _load_spec(path: Optional[str]) -> dict:
+    if path is None:
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise SystemExit(f"grid spec {path!r} must be a JSON object")
+    return spec
+
+
+def _axis(cli_value, spec: dict, key: str, default):
+    """CLI flag > spec-file entry > default."""
+    if cli_value is not None:
+        return cli_value
+    if key in spec:
+        return spec[key]
+    return default
+
+
+def expand_from_args(args, spec: dict):
+    """(design points, pipeline points) named by the merged axis values."""
+    design_points = []
+    # --frames is shared between both grids, so it alone does not opt the
+    # design grid in; any design-specific axis (CLI or spec file) does.
+    wants_designs = any(value is not None for value in (
+        args.designs, args.bindings, args.formats,
+        args.capacities)) or any(key in spec for key in (
+            "designs", "bindings", "formats", "capacities"))
+    if wants_designs:
+        design_points = expand_grid(
+            designs=_axis(args.designs, spec, "designs", ("saa2vga",)),
+            bindings=_axis(args.bindings, spec, "bindings", None),
+            pixel_formats=_axis(args.formats, spec, "formats", ("gray8",)),
+            frame_sizes=_parse_frames(
+                _axis(args.frames, spec, "frames", ["16x12"])),
+            capacities=_axis(args.capacities, spec, "capacities", (32,)),
+        )
+
+    pipeline_points = []
+    pipe_spec = spec.get("pipelines", {})
+    if isinstance(pipe_spec, (list, tuple)):
+        pipe_spec = {"topologies": pipe_spec}
+    wants_pipelines = any(value is not None for value in (
+        args.pipelines, args.stages, args.fifo_depths,
+        args.bus_widths)) or bool(pipe_spec)
+    if not wants_designs and not wants_pipelines:
+        # No grid-selecting axes: run the default design grid, like a bare
+        # sweep script would — still honouring a lone --frames override.
+        return expand_grid(frame_sizes=_parse_frames(
+            _axis(args.frames, spec, "frames", ["16x12"]))), []
+    if wants_pipelines:
+        from ..flow.sweep import expand_pipeline_grid
+
+        pipeline_points = expand_pipeline_grid(
+            topologies=_axis(args.pipelines, pipe_spec, "topologies",
+                             ("chain",)),
+            stages=_axis(args.stages, pipe_spec, "stages", (2,)),
+            fifo_depths=_axis(args.fifo_depths, pipe_spec, "fifo_depths",
+                              (4,)),
+            bus_widths=_axis(args.bus_widths, pipe_spec, "bus_widths", (8,)),
+            frame_sizes=_parse_frames(
+                _axis(args.frames, pipe_spec, "frames", ["16x8"])),
+        )
+    return design_points, pipeline_points
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    spec = _load_spec(args.grid)
+
+    design_points, pipeline_points = expand_from_args(args, spec)
+    if not design_points and not pipeline_points:
+        print("grid expanded to zero valid points", file=sys.stderr)
+        return 2
+
+    runner = ExplorationRunner(
+        strategy=args.strategy, processes=args.processes,
+        max_cycles=args.max_cycles, verify=args.verify,
+        verify_seed=args.verify_seed, verify_cycles=args.verify_cycles)
+
+    sections = []
+    if design_points:
+        sections.append((f"{args.title} (designs)", runner.run(design_points)))
+    if pipeline_points:
+        sections.append((f"{args.title} (pipelines)",
+                         runner.run(pipeline_points)))
+
+    all_results = [res for _, results in sections for res in results]
+    if not args.quiet:
+        for title, results in sections:
+            print(comparison_report(results, title=title))
+            print()
+        print(f"{len(all_results)} point(s) evaluated "
+              f"({runner.cache_hits} from cache)")
+
+    if args.json:
+        payload = {
+            "strategy": args.strategy,
+            "points": len(all_results),
+            "rows": [row for _, results in sections
+                     for row in results_table(results)],
+        }
+        if args.verify:
+            payload["coverage_summary"] = coverage_summary(all_results)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"results written to {args.json}")
+
+    failed = [res for res in all_results if not res.verified]
+    flagged = [res for res in all_results if res.coverage_violations]
+    if failed or flagged:
+        print(f"\nFAILED: {len(failed)} point(s) functionally wrong, "
+              f"{len(flagged)} with protocol violations", file=sys.stderr)
+        for res in (failed + flagged)[:10]:
+            print(f"  - {res.point.label()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

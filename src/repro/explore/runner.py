@@ -45,7 +45,14 @@ def resolve_strategy(strategy: str) -> str:
 
 
 def build_design(point) -> Component:
-    """Instantiate the design a point describes (fresh, unshared hierarchy)."""
+    """Instantiate the design a point describes (fresh, unshared hierarchy).
+
+    Points may carry their own builder (``point.build()``) — that is how
+    the pipeline-composition axes of :mod:`repro.flow.sweep` plug into the
+    same runner — otherwise the point names one of the built-in families.
+    """
+    if hasattr(point, "build"):
+        return point.build()
     fmt = PIXEL_FORMATS[point.pixel_format]
     if point.design == "saa2vga":
         return Saa2VgaPatternDesign(
@@ -59,11 +66,29 @@ def build_design(point) -> Component:
 
 
 def stimulus_frame(point):
-    """Deterministic stimulus for a point (seeded from its design hash)."""
+    """Deterministic stimulus for a point (seeded from its design hash).
+
+    A point may pin its own stimulus ceiling (``stimulus_max_value``) when
+    its datapath is narrower than its nominal pixel format — e.g. a
+    pipeline sweep over sub-8-bit bus widths; otherwise the format's full
+    value range is used.
+    """
     fmt = PIXEL_FORMATS[point.pixel_format]
+    max_value = getattr(point, "stimulus_max_value", None)
+    if max_value is None:
+        max_value = fmt.max_value
     seed = int(point.design_hash()[:8], 16)
     return random_frame(point.frame_width, point.frame_height, seed=seed,
-                        max_value=fmt.max_value)
+                        max_value=max_value)
+
+
+def golden_output(point, frame) -> list:
+    """The expected output pixels for one point's stimulus frame."""
+    if hasattr(point, "golden"):
+        return point.golden(frame)
+    if point.design == "blur":
+        return flatten(golden_blur3x3(frame))
+    return flatten(frame)
 
 
 @dataclass(frozen=True)
@@ -125,10 +150,7 @@ def evaluate_point(point, strategy: str = AUTO,
     """
     strategy = resolve_strategy(strategy)
     frame = stimulus_frame(point)
-    if point.design == "blur":
-        golden = flatten(golden_blur3x3(frame))
-    else:
-        golden = flatten(frame)
+    golden = golden_output(point, frame)
     design = build_design(point)
     result = run_stream_through(design, frame, expected_outputs=len(golden),
                                 max_cycles=max_cycles, strategy=strategy)

@@ -1,0 +1,50 @@
+"""Dataflow pipeline composition: graph-built multi-stage streaming systems.
+
+The composition subsystem the paper's building blocks were missing a stage
+for: declare a :class:`PipelineGraph` whose nodes are any stream-interfaced
+stages (shipped designs, containers, width converters, fork/join/round-robin
+routers) and whose edges are typed elastic channels, then
+:meth:`~PipelineGraph.elaborate` it into an ordinary component that runs
+under every settle strategy, slots into ``VideoSystem``/``run_stream_through``,
+verifies with per-edge protocol monitors, sweeps through ``repro.explore``
+(see :mod:`repro.flow.sweep`) and aggregates area through ``repro.synth``.
+
+Width mismatches between connected ports are resolved automatically: the
+elaborator inserts :class:`~repro.metagen.width_adapter.WidthDownConverter` /
+:class:`~repro.metagen.width_adapter.WidthUpConverter` pairs from the
+metagen adaptation plans, "requiring no designer intervention" (Section 3.3).
+"""
+
+from .channel import StreamChannel
+from .elaborate import EdgeInstance, Pipeline, elaborate
+from .graph import (
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    Edge,
+    FlowNode,
+    GraphError,
+    PipelineGraph,
+    stream_ports,
+)
+from .monitors import edge_monitors
+from .nodes import JOIN_POLICIES, Fork, Join, RoundRobinMerge, RoundRobinSplit
+
+__all__ = [
+    "PipelineGraph",
+    "Pipeline",
+    "elaborate",
+    "Edge",
+    "EdgeInstance",
+    "FlowNode",
+    "GraphError",
+    "GRAPH_INPUT",
+    "GRAPH_OUTPUT",
+    "stream_ports",
+    "StreamChannel",
+    "Fork",
+    "Join",
+    "RoundRobinSplit",
+    "RoundRobinMerge",
+    "JOIN_POLICIES",
+    "edge_monitors",
+]

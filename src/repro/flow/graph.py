@@ -1,0 +1,415 @@
+"""Declarative pipeline graphs: nodes, typed edges, topology validation.
+
+The paper's central claim is that containers, iterators and algorithms are
+*composable*; this module provides the composition surface.  A
+:class:`PipelineGraph` is a plain Python description — no hardware is built
+until :meth:`PipelineGraph.elaborate` — of a multi-stage streaming system:
+
+* **nodes** are stages exposing stream interfaces: shipped designs
+  (anything with ``input_fill``/``output_drain``), bare containers, width
+  converters, or the structural nodes of :mod:`repro.flow.nodes`
+  (fork/join/round-robin);
+* **edges** are typed stream channels with a configurable elastic FIFO
+  depth (0 = combinational wire) and an optional ``bus_width`` that forces
+  the edge onto a narrower physical bus — the elaborator then inserts
+  width converters from :mod:`repro.metagen.width_adapter` automatically.
+
+Validation catches dangling ports, double-driven ports, non-adaptable
+width mismatches and cycles *before* any component is instantiated, so
+graph-construction errors surface with graph-level names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.interfaces import StreamSinkIface, StreamSourceIface
+from ..rtl import Component
+from .nodes import Fork, Join, RoundRobinMerge, RoundRobinSplit
+
+#: Sentinel node names for the graph's external boundary.
+GRAPH_INPUT = "@in"
+GRAPH_OUTPUT = "@out"
+
+
+class GraphError(Exception):
+    """A malformed pipeline graph (validation happens before elaboration)."""
+
+
+def stream_ports(component: Component) -> Tuple[Dict[str, StreamSinkIface],
+                                                Dict[str, StreamSourceIface]]:
+    """Discover the stream ports of a stage component.
+
+    Resolution order:
+
+    1. explicit ``flow_inputs`` / ``flow_outputs`` dicts (the structural
+       nodes declare these);
+    2. the design convention ``input_fill`` / ``output_drain``;
+    3. every :class:`StreamSinkIface` / :class:`StreamSourceIface`
+       attribute of the component itself (children are not scanned), keyed
+       by attribute name — this is what makes bare containers and width
+       converters usable as stages without any wrapping.
+    """
+    explicit_in = getattr(component, "flow_inputs", None)
+    explicit_out = getattr(component, "flow_outputs", None)
+    if explicit_in is not None or explicit_out is not None:
+        return dict(explicit_in or {}), dict(explicit_out or {})
+    fill = getattr(component, "input_fill", None)
+    drain = getattr(component, "output_drain", None)
+    if fill is not None or drain is not None:
+        inputs = {"in": fill} if fill is not None else {}
+        outputs = {"out": drain} if drain is not None else {}
+        return inputs, outputs
+    inputs: Dict[str, StreamSinkIface] = {}
+    outputs: Dict[str, StreamSourceIface] = {}
+    for attr, value in vars(component).items():
+        if isinstance(value, StreamSinkIface):
+            inputs[attr] = value
+        elif isinstance(value, StreamSourceIface):
+            outputs[attr] = value
+    return inputs, outputs
+
+
+@dataclass
+class FlowNode:
+    """One stage of a pipeline graph plus its discovered stream ports."""
+
+    name: str
+    component: Component
+    inputs: Dict[str, StreamSinkIface] = field(default_factory=dict)
+    outputs: Dict[str, StreamSourceIface] = field(default_factory=dict)
+
+    def input_width(self, port: str) -> int:
+        return self.inputs[port].width
+
+    def output_width(self, port: str) -> int:
+        return self.outputs[port].width
+
+    def __repr__(self) -> str:
+        return (f"<FlowNode {self.name}: in={sorted(self.inputs)} "
+                f"out={sorted(self.outputs)}>")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One typed stream connection of the graph."""
+
+    src: str
+    src_port: str
+    dst: str
+    dst_port: str
+    depth: int
+    bus_width: Optional[int] = None
+
+    def label(self) -> str:
+        """Identifier used to name the edge's elaborated hardware."""
+        src = "in" if self.src == GRAPH_INPUT else f"{self.src}_{self.src_port}"
+        dst = "out" if self.dst == GRAPH_OUTPUT else f"{self.dst}_{self.dst_port}"
+        return f"{src}__{dst}"
+
+
+NodeRef = Union[str, FlowNode]
+
+
+class PipelineGraph:
+    """Build a multi-stage streaming system declaratively, then elaborate it.
+
+    Typical use::
+
+        g = PipelineGraph("dual", input_width=8, output_width=8)
+        split = g.split("split", width=8, ways=2)
+        a = g.stage(build_saa2vga_pattern("fifo"), name="path_a")
+        b = g.stage(build_saa2vga_pattern("fifo"), name="path_b")
+        merge = g.merge("merge", width=8, ways=2)
+        g.connect(g.INPUT, split, depth=0)
+        g.connect(split, a, depth=4)
+        g.connect(split, b, depth=4)
+        g.connect(a, merge, depth=4)
+        g.connect(b, merge, depth=4)
+        g.connect(merge, g.OUTPUT, depth=0)
+        pipeline = g.elaborate()          # a Component: drop into VideoSystem
+
+    ``connect`` resolves ports automatically — the first still-unconnected
+    output of the source and input of the destination — so fan-out nodes
+    read naturally; explicit ``src_port``/``dst_port`` override.
+    """
+
+    INPUT = GRAPH_INPUT
+    OUTPUT = GRAPH_OUTPUT
+
+    def __init__(self, name: str = "pipeline",
+                 input_width: Optional[int] = None,
+                 output_width: Optional[int] = None) -> None:
+        self.name = name
+        self.input_width = input_width
+        self.output_width = output_width
+        self.nodes: Dict[str, FlowNode] = {}
+        self.edges: List[Edge] = []
+        self._used_inputs: set = set()   # (node, port)
+        self._used_outputs: set = set()
+        self._open_outputs: set = set()
+        self._golden = None
+
+    # -- node construction ----------------------------------------------------
+
+    def stage(self, component: Component, name: Optional[str] = None) -> FlowNode:
+        """Add any stream-interfaced component as a pipeline stage."""
+        node_name = name or component.name
+        if node_name in self.nodes:
+            raise GraphError(f"duplicate node name {node_name!r}")
+        if node_name in (GRAPH_INPUT, GRAPH_OUTPUT):
+            raise GraphError(f"{node_name!r} is a reserved node name")
+        if component.parent is not None:
+            raise GraphError(
+                f"component {component.name!r} already has a parent and "
+                f"cannot be added as a stage")
+        inputs, outputs = stream_ports(component)
+        if not inputs and not outputs:
+            raise GraphError(
+                f"component {component.name!r} exposes no stream interfaces "
+                f"and cannot be a pipeline stage")
+        # The node name becomes the component name, so two stages built from
+        # the same factory (same default component name) stay distinct in
+        # the elaborated hierarchy.
+        component.name = node_name
+        node = FlowNode(node_name, component, inputs, outputs)
+        self.nodes[node_name] = node
+        return node
+
+    def fork(self, name: str, width: int, ways: int = 2) -> FlowNode:
+        """Add a broadcast :class:`~repro.flow.nodes.Fork` node."""
+        return self.stage(Fork(name, width=width, ways=ways))
+
+    def join(self, name: str, width: int, ways: int = 2,
+             policy: str = "roundrobin") -> FlowNode:
+        """Add an arbiter-based :class:`~repro.flow.nodes.Join` node."""
+        return self.stage(Join(name, width=width, ways=ways, policy=policy))
+
+    def split(self, name: str, width: int, ways: int = 2) -> FlowNode:
+        """Add a deterministic :class:`~repro.flow.nodes.RoundRobinSplit`."""
+        return self.stage(RoundRobinSplit(name, width=width, ways=ways))
+
+    def merge(self, name: str, width: int, ways: int = 2) -> FlowNode:
+        """Add a deterministic :class:`~repro.flow.nodes.RoundRobinMerge`."""
+        return self.stage(RoundRobinMerge(name, width=width, ways=ways))
+
+    # -- connectivity ---------------------------------------------------------
+
+    def _resolve(self, ref: NodeRef) -> str:
+        if isinstance(ref, FlowNode):
+            ref = ref.name
+        if ref in (GRAPH_INPUT, GRAPH_OUTPUT):
+            return ref
+        if ref not in self.nodes:
+            raise GraphError(f"unknown node {ref!r}")
+        return ref
+
+    def _pick_output(self, node: str, port: Optional[str]) -> str:
+        ports = self.nodes[node].outputs
+        if port is not None:
+            if port not in ports:
+                raise GraphError(
+                    f"node {node!r} has no output port {port!r} "
+                    f"(has: {sorted(ports)})")
+            return port
+        for candidate in ports:
+            if (node, candidate) not in self._used_outputs:
+                return candidate
+        raise GraphError(f"node {node!r} has no free output port left")
+
+    def _pick_input(self, node: str, port: Optional[str]) -> str:
+        ports = self.nodes[node].inputs
+        if port is not None:
+            if port not in ports:
+                raise GraphError(
+                    f"node {node!r} has no input port {port!r} "
+                    f"(has: {sorted(ports)})")
+            return port
+        for candidate in ports:
+            if (node, candidate) not in self._used_inputs:
+                return candidate
+        raise GraphError(f"node {node!r} has no free input port left")
+
+    def connect(self, src: NodeRef, dst: NodeRef, depth: int = 2,
+                bus_width: Optional[int] = None,
+                src_port: Optional[str] = None,
+                dst_port: Optional[str] = None) -> Edge:
+        """Add one edge; returns the recorded :class:`Edge`.
+
+        ``depth`` is the elastic FIFO depth of the edge (0 = pure wire,
+        otherwise >= 2).  ``bus_width`` forces the edge onto a narrower
+        physical bus; when it (or the endpoint widths) disagree with an
+        endpoint's element width, the elaborator inserts width converters
+        automatically.
+        """
+        if depth != 0 and depth < 2:
+            raise GraphError(
+                f"edge depth must be 0 (wire) or >= 2 (FIFO), got {depth}")
+        src_name = self._resolve(src)
+        dst_name = self._resolve(dst)
+        if src_name == GRAPH_OUTPUT:
+            raise GraphError("the graph output cannot be an edge source")
+        if dst_name == GRAPH_INPUT:
+            raise GraphError("the graph input cannot be an edge destination")
+
+        if src_name == GRAPH_INPUT:
+            if any(edge.src == GRAPH_INPUT for edge in self.edges):
+                raise GraphError(
+                    "the graph input is already connected; use a Fork or "
+                    "RoundRobinSplit node for fan-out")
+            s_port = "out"
+        else:
+            s_port = self._pick_output(src_name, src_port)
+            if (src_name, s_port) in self._used_outputs:
+                raise GraphError(
+                    f"output port {src_name}.{s_port} is already connected; "
+                    f"use a Fork node to duplicate a stream")
+            self._used_outputs.add((src_name, s_port))
+
+        if dst_name == GRAPH_OUTPUT:
+            if any(edge.dst == GRAPH_OUTPUT for edge in self.edges):
+                raise GraphError(
+                    "the graph output is already connected; use a Join or "
+                    "RoundRobinMerge node for fan-in")
+            d_port = "in"
+        else:
+            d_port = self._pick_input(dst_name, dst_port)
+            if (dst_name, d_port) in self._used_inputs:
+                raise GraphError(
+                    f"input port {dst_name}.{d_port} is already driven")
+            self._used_inputs.add((dst_name, d_port))
+
+        edge = Edge(src_name, s_port, dst_name, d_port, depth, bus_width)
+        self.edges.append(edge)
+        return edge
+
+    def open_output(self, node: NodeRef, port: Optional[str] = None) -> None:
+        """Declare an output port intentionally unconnected (not dangling)."""
+        name = self._resolve(node)
+        picked = self._pick_output(name, port)
+        self._open_outputs.add((name, picked))
+        # Mark it used so automatic port picking skips it too.
+        self._used_outputs.add((name, picked))
+
+    def golden(self, fn) -> None:
+        """Register the pipeline-level golden model (``pixels -> pixels``).
+
+        The elaborated pipeline exposes it as ``expected_output``, the hook
+        the verification subsystem and the exploration runner both use.
+        """
+        self._golden = fn
+
+    # -- resolved boundary widths ---------------------------------------------
+
+    def _boundary_edges(self) -> Tuple[Optional[Edge], Optional[Edge]]:
+        in_edge = next((e for e in self.edges if e.src == GRAPH_INPUT), None)
+        out_edge = next((e for e in self.edges if e.dst == GRAPH_OUTPUT), None)
+        return in_edge, out_edge
+
+    def resolved_input_width(self) -> int:
+        """Declared input width, or the width of the port the input feeds."""
+        in_edge, _ = self._boundary_edges()
+        if self.input_width is not None:
+            return self.input_width
+        if in_edge is None:
+            raise GraphError("graph has no input edge")
+        return self.nodes[in_edge.dst].input_width(in_edge.dst_port)
+
+    def resolved_output_width(self) -> int:
+        """Declared output width, or the width of the port feeding the output."""
+        _, out_edge = self._boundary_edges()
+        if self.output_width is not None:
+            return self.output_width
+        if out_edge is None:
+            raise GraphError("graph has no output edge")
+        return self.nodes[out_edge.src].output_width(out_edge.src_port)
+
+    # -- validation -----------------------------------------------------------
+
+    def _edge_widths(self, edge: Edge) -> Tuple[int, int, int]:
+        """(producer width, consumer width, bus width) of one edge."""
+        if edge.src == GRAPH_INPUT:
+            src_w = self.resolved_input_width()
+        else:
+            src_w = self.nodes[edge.src].output_width(edge.src_port)
+        if edge.dst == GRAPH_OUTPUT:
+            dst_w = self.resolved_output_width()
+        else:
+            dst_w = self.nodes[edge.dst].input_width(edge.dst_port)
+        bus = edge.bus_width if edge.bus_width is not None else min(src_w, dst_w)
+        return src_w, dst_w, bus
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` on any structural problem."""
+        if not self.nodes:
+            raise GraphError("graph has no nodes")
+        in_edge, out_edge = self._boundary_edges()
+        if in_edge is None:
+            raise GraphError("graph input is not connected to any stage")
+        if out_edge is None:
+            raise GraphError("graph output is not fed by any stage")
+
+        # Dangling ports: every input driven, every output consumed or open.
+        for name, node in self.nodes.items():
+            for port in node.inputs:
+                if (name, port) not in self._used_inputs:
+                    raise GraphError(
+                        f"dangling input port {name}.{port}: every stage "
+                        f"input must be driven by an edge or the graph input")
+            for port in node.outputs:
+                if (name, port) not in self._used_outputs \
+                        and (name, port) not in self._open_outputs:
+                    raise GraphError(
+                        f"dangling output port {name}.{port}: connect it, "
+                        f"or declare it open with open_output()")
+
+        # Width compatibility: both endpoint widths must be bus multiples.
+        for edge in self.edges:
+            src_w, dst_w, bus = self._edge_widths(edge)
+            if bus < 1:
+                raise GraphError(f"edge {edge.label()}: bus width must be >= 1")
+            for side, width in (("producer", src_w), ("consumer", dst_w)):
+                if width % bus:
+                    raise GraphError(
+                        f"edge {edge.label()}: {side} width {width} is not a "
+                        f"multiple of the {bus}-bit bus — no width adaptation "
+                        f"plan exists (widths must divide evenly)")
+
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """The data-flow graph must be a DAG (elastic buffers do not make
+        a combinational loop safe: a full cycle deadlocks on back-pressure)."""
+        adjacency: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for edge in self.edges:
+            if edge.src in adjacency and edge.dst in adjacency:
+                adjacency[edge.src].append(edge.dst)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in adjacency}
+
+        def visit(name: str, trail: List[str]) -> None:
+            colour[name] = GREY
+            trail.append(name)
+            for succ in adjacency[name]:
+                if colour[succ] == GREY:
+                    cycle = trail[trail.index(succ):] + [succ]
+                    raise GraphError(
+                        f"pipeline graph contains a cycle: "
+                        f"{' -> '.join(cycle)}")
+                if colour[succ] == WHITE:
+                    visit(succ, trail)
+            trail.pop()
+            colour[name] = BLACK
+
+        for name in adjacency:
+            if colour[name] == WHITE:
+                visit(name, [])
+
+    # -- elaboration ----------------------------------------------------------
+
+    def elaborate(self, name: Optional[str] = None):
+        """Validate and build the simulatable pipeline component."""
+        from .elaborate import Pipeline
+
+        return Pipeline(self, name=name)

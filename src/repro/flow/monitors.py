@@ -1,0 +1,44 @@
+"""Per-edge verification monitors for elaborated pipelines.
+
+Every elastic channel of a :class:`~repro.flow.elaborate.Pipeline` is a
+FIFO-ordered stream container, so the *same* protocol monitor + golden
+model the verification subsystem applies to shipped containers
+(:class:`~repro.verify.monitor.StreamContainerMonitor` over a
+:class:`~repro.verify.scoreboard.FifoModel`) watches every edge of a
+pipeline: occupancy bounds, element conservation, valid/data stability and
+FIFO-exact data ordering, edge by edge.
+
+Monitors are returned *unattached*; a verification session attaches them to
+its simulator and drives their two-phase hooks (see
+``repro.verify.session._run_bench``), and tests may drive them manually::
+
+    monitors = edge_monitors(pipeline)
+    for m in monitors:
+        m.attach(sim)
+    ...per cycle: sim.settle(); m.pre_edge(cycle); sim.step()
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..verify.monitor import StreamContainerMonitor
+from ..verify.scoreboard import FifoModel
+
+
+def edge_monitors(pipeline) -> List[StreamContainerMonitor]:
+    """One FIFO-ordered stream monitor per elastic channel of ``pipeline``.
+
+    Depth-0 wire edges carry no state and are not monitored (their
+    correctness is covered by the endpoint monitors on either side).
+    """
+    monitors: List[StreamContainerMonitor] = []
+    for inst in pipeline.edge_instances:
+        channel = inst.channel
+        if channel is None:
+            continue
+        monitors.append(StreamContainerMonitor(
+            f"{pipeline.name}.edge.{channel.name}", channel,
+            channel.fill, channel.drain, FifoModel(channel.depth),
+            max_occupancy=channel.depth))
+    return monitors

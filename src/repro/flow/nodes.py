@@ -1,0 +1,224 @@
+"""Structural pipeline nodes: fork, join and round-robin stream routing.
+
+These are the topology-shaping building blocks a :class:`~repro.flow.graph.
+PipelineGraph` offers beyond plain processing stages:
+
+* :class:`Fork` — broadcast one stream to every output (each consumer sees
+  every element; an element retires only once *all* outputs accepted it);
+* :class:`Join` — merge several streams through a real arbiter from
+  :mod:`repro.primitives.arbiter` (priority or round-robin policy), the
+  "automatic generation of arbitration logic for shared physical resources"
+  of Section 3.4 applied to stream channels;
+* :class:`RoundRobinSplit` / :class:`RoundRobinMerge` — deterministic
+  alternating distribution/collection.  A split/merge pair with the same
+  fan count reconstructs the original element order exactly, which is what
+  lets the dual-path pipeline scenario round-trip frames bit-exact.
+
+Every node exposes its ports through the ``flow_inputs`` / ``flow_outputs``
+dicts the graph's port discovery looks for first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.interfaces import StreamSinkIface, StreamSourceIface
+from ..primitives import PriorityArbiter, RoundRobinArbiter
+from ..rtl import Component, clog2
+
+#: Arbitration policies a :class:`Join` accepts, mapped to the primitive.
+JOIN_POLICIES = {
+    "priority": PriorityArbiter,
+    "roundrobin": RoundRobinArbiter,
+}
+
+
+class Fork(Component):
+    """Broadcast one input stream to ``ways`` output streams.
+
+    One element is held at a time; each output presents it until that
+    output pops it, and a fresh element is accepted only after every
+    output has taken the current one.  Slow consumers therefore throttle
+    the whole broadcast — the behaviour a video tap (e.g. a statistics
+    side-channel) needs to stay frame-consistent with the main path.
+    """
+
+    def __init__(self, name: str, width: int, ways: int = 2) -> None:
+        super().__init__(name)
+        if ways < 2:
+            raise ValueError(f"Fork needs at least 2 ways, got {ways}")
+        self.width = width
+        self.ways = ways
+        self.fill = StreamSinkIface(self, width, name=f"{name}_fill")
+        self.outs: List[StreamSourceIface] = [
+            StreamSourceIface(self, width, name=f"{name}_out{i}")
+            for i in range(ways)]
+        self.flow_inputs: Dict[str, StreamSinkIface] = {"in": self.fill}
+        self.flow_outputs: Dict[str, StreamSourceIface] = {
+            f"out{i}": out for i, out in enumerate(self.outs)}
+
+        self._data = self.state(width, name=f"{name}_data")
+        #: Bitmask of outputs that still have to accept the held element;
+        #: zero means the fork is empty and can take a new element.
+        self._pending = self.state(ways, name=f"{name}_pending")
+
+        @self.comb
+        def wires() -> None:
+            pending = self._pending.value
+            self.fill.ready.next = 1 if pending == 0 else 0
+            for i, out in enumerate(self.outs):
+                out.data.next = self._data.value
+                out.valid.next = (pending >> i) & 1
+
+        @self.seq
+        def control() -> None:
+            pending = self._pending.value
+            if pending == 0:
+                if self.fill.push.value:
+                    self._data.next = self.fill.data.value
+                    self._pending.next = (1 << self.ways) - 1
+                return
+            nxt = pending
+            for i, out in enumerate(self.outs):
+                if ((pending >> i) & 1) and out.pop.value:
+                    nxt &= ~(1 << i)
+            self._pending.next = nxt
+
+
+class Join(Component):
+    """Merge ``ways`` input streams into one through a generated arbiter.
+
+    Element order across inputs follows the arbitration policy (an input
+    keeps its grant while it has data, matching the arbiter's transaction
+    lock), so a :class:`Join` is the right merge when the consumer is
+    order-insensitive — a histogram, a multiset scoreboard, a shared
+    memory port.  Use :class:`RoundRobinMerge` when the original
+    interleaving must be reconstructed exactly.
+    """
+
+    def __init__(self, name: str, width: int, ways: int = 2,
+                 policy: str = "roundrobin") -> None:
+        super().__init__(name)
+        if ways < 2:
+            raise ValueError(f"Join needs at least 2 ways, got {ways}")
+        try:
+            arbiter_cls = JOIN_POLICIES[policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown join policy {policy!r}; expected one of "
+                f"{sorted(JOIN_POLICIES)}") from None
+        self.width = width
+        self.ways = ways
+        self.policy = policy
+        self.ins: List[StreamSinkIface] = [
+            StreamSinkIface(self, width, name=f"{name}_in{i}")
+            for i in range(ways)]
+        self.out = StreamSourceIface(self, width, name=f"{name}_out")
+        self.flow_inputs = {f"in{i}": port for i, port in enumerate(self.ins)}
+        self.flow_outputs = {"out": self.out}
+        self.arbiter = self.child(arbiter_cls(f"{name}_arb", ways))
+
+        @self.comb
+        def request_feed() -> None:
+            for i, port in enumerate(self.ins):
+                self.arbiter.requests[i].next = port.push.value
+
+        @self.comb
+        def route() -> None:
+            granted = -1
+            for i in range(self.ways):
+                if self.arbiter.grants[i].value:
+                    granted = i
+            if granted >= 0:
+                winner = self.ins[granted]
+                self.out.valid.next = 1
+                self.out.data.next = winner.data.value
+            else:
+                self.out.valid.next = 0
+                self.out.data.next = 0
+            for i, port in enumerate(self.ins):
+                grant = self.arbiter.grants[i].value
+                port.ready.next = 1 if (grant and self.out.pop.value) else 0
+
+
+class RoundRobinSplit(Component):
+    """Distribute an input stream over ``ways`` outputs, one element each.
+
+    Element ``k`` goes to output ``k mod ways``.  Paired with a
+    :class:`RoundRobinMerge` of the same fan count, the original stream
+    order is reconstructed exactly whatever the relative latencies of the
+    paths in between.
+    """
+
+    def __init__(self, name: str, width: int, ways: int = 2) -> None:
+        super().__init__(name)
+        if ways < 2:
+            raise ValueError(f"RoundRobinSplit needs at least 2 ways, got {ways}")
+        self.width = width
+        self.ways = ways
+        self.fill = StreamSinkIface(self, width, name=f"{name}_fill")
+        self.outs: List[StreamSourceIface] = [
+            StreamSourceIface(self, width, name=f"{name}_out{i}")
+            for i in range(ways)]
+        self.flow_inputs = {"in": self.fill}
+        self.flow_outputs = {f"out{i}": out for i, out in enumerate(self.outs)}
+        self._ptr = self.state(max(1, clog2(max(2, ways))), name=f"{name}_ptr")
+
+        @self.comb
+        def wires() -> None:
+            ptr = self._ptr.value
+            ready = 0
+            for i, out in enumerate(self.outs):
+                selected = 1 if i == ptr else 0
+                out.data.next = self.fill.data.value
+                out.valid.next = self.fill.push.value if selected else 0
+                if selected and out.pop.value:
+                    ready = 1
+            self.fill.ready.next = ready
+
+        @self.seq
+        def advance() -> None:
+            if self.fill.push.value and self.fill.ready.value:
+                self._ptr.next = (self._ptr.value + 1) % self.ways
+
+
+class RoundRobinMerge(Component):
+    """Collect elements from ``ways`` inputs in strict rotation.
+
+    The inverse of :class:`RoundRobinSplit`: the output waits for the
+    selected input even when other inputs have data, trading merge
+    opportunism for exact order reconstruction.
+    """
+
+    def __init__(self, name: str, width: int, ways: int = 2) -> None:
+        super().__init__(name)
+        if ways < 2:
+            raise ValueError(f"RoundRobinMerge needs at least 2 ways, got {ways}")
+        self.width = width
+        self.ways = ways
+        self.ins: List[StreamSinkIface] = [
+            StreamSinkIface(self, width, name=f"{name}_in{i}")
+            for i in range(ways)]
+        self.out = StreamSourceIface(self, width, name=f"{name}_out")
+        self.flow_inputs = {f"in{i}": port for i, port in enumerate(self.ins)}
+        self.flow_outputs = {"out": self.out}
+        self._ptr = self.state(max(1, clog2(max(2, ways))), name=f"{name}_ptr")
+
+        @self.comb
+        def wires() -> None:
+            ptr = self._ptr.value
+            valid = 0
+            data = 0
+            for i, port in enumerate(self.ins):
+                selected = 1 if i == ptr else 0
+                port.ready.next = 1 if (selected and self.out.pop.value) else 0
+                if selected:
+                    valid = port.push.value
+                    data = port.data.value
+            self.out.valid.next = valid
+            self.out.data.next = data
+
+        @self.seq
+        def advance() -> None:
+            if self.out.valid.value and self.out.pop.value:
+                self._ptr.next = (self._ptr.value + 1) % self.ways

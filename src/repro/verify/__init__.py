@@ -34,6 +34,7 @@ from .coverage import (
     CoverPoint,
 )
 from .monitor import (
+    ArbiterMonitor,
     AssocMonitor,
     ExpectedStreamMonitor,
     IteratorMonitor,
@@ -42,6 +43,7 @@ from .monitor import (
     StreamContainerMonitor,
     VerificationError,
     Violation,
+    WidthAdapterMonitor,
     WindowBufferMonitor,
 )
 from .rng import SEED_ENV, RngPool, default_seed, derive_seed, stream
@@ -58,6 +60,7 @@ from .stimulus import (
     AssocOpDriver,
     IteratorConstraints,
     IteratorOpDriver,
+    RequestDriver,
     StreamConstraints,
     StreamPopDriver,
     StreamPushDriver,
@@ -66,20 +69,23 @@ from .stimulus import (
 #: Names resolved lazily from :mod:`repro.verify.session` (which imports
 #: the container/design layers and must not load during package import).
 _SESSION_EXPORTS = ("verify", "verify_all", "VerifyResult", "TargetSpec",
-                    "TARGETS", "container_targets", "design_targets")
+                    "TARGETS", "container_targets", "design_targets",
+                    "metagen_targets")
 
 __all__ = [
     "mutate",
     "CoverageDB", "CoverageError", "CoverBin", "CoverCross", "CoverGroup",
     "CoverPoint",
-    "AssocMonitor", "ExpectedStreamMonitor", "IteratorMonitor",
-    "ProtocolMonitor", "RandomPortMonitor", "StreamContainerMonitor",
-    "VerificationError", "Violation", "WindowBufferMonitor",
+    "ArbiterMonitor", "AssocMonitor", "ExpectedStreamMonitor",
+    "IteratorMonitor", "ProtocolMonitor", "RandomPortMonitor",
+    "StreamContainerMonitor", "VerificationError", "Violation",
+    "WidthAdapterMonitor", "WindowBufferMonitor",
     "SEED_ENV", "RngPool", "default_seed", "derive_seed", "stream",
     "AssocModel", "ExpectedStreamModel", "FifoModel", "LifoModel",
     "LineBufferModel", "MultisetModel", "VectorModel",
     "AssocOpDriver", "IteratorConstraints", "IteratorOpDriver",
-    "StreamConstraints", "StreamPopDriver", "StreamPushDriver",
+    "RequestDriver", "StreamConstraints", "StreamPopDriver",
+    "StreamPushDriver",
     *_SESSION_EXPORTS,
 ]
 

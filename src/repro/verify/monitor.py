@@ -472,6 +472,208 @@ class AssocMonitor(ProtocolMonitor):
         return {"op": self._last_op, "fullness": self._pre_occ}
 
 
+class WidthAdapterMonitor(ProtocolMonitor):
+    """Checker for the metagen width converters (down- and up-conversion).
+
+    The golden model is the converter's own
+    :class:`~repro.metagen.width_adapter.WidthAdaptationPlan`: a *down*
+    converter must emit exactly ``plan.split(element)`` (most significant
+    beat first) for every accepted wide element, and an *up* converter must
+    emit ``plan.join(beats)`` for every ``plan.beats`` accepted narrow
+    beats.  The two sides of either converter are mutually exclusive by
+    construction (load vs. shift phase), which the monitor also enforces.
+    """
+
+    def __init__(self, name: str, converter, direction: str) -> None:
+        super().__init__(name)
+        if direction not in ("down", "up"):
+            raise ValueError(f"direction must be 'down' or 'up', got {direction!r}")
+        self.converter = converter
+        self.direction = direction
+        self.plan = converter.plan
+        if direction == "down":
+            self._in_iface = converter.wide_in
+            self._out_iface = converter.narrow_out
+        else:
+            self._in_iface = converter.narrow_in
+            self._out_iface = converter.wide_out
+        #: Values the output side still owes, in order.
+        self._expected: List[int] = []
+        #: Up-conversion only: beats collected toward the next element.
+        self._beats: List[int] = []
+        self._pre: Optional[dict] = None
+
+    def on_reset(self) -> None:
+        self._expected = []
+        self._beats = []
+        self._pre = None
+
+    def pre_edge(self, cycle: int) -> None:
+        inp, out = self._in_iface, self._out_iface
+        push = bool(inp.push.value)
+        ready = bool(inp.ready.value)
+        pop = bool(out.pop.value)
+        valid = bool(out.valid.value)
+        accepted_in = push and ready
+        accepted_out = pop and valid
+
+        if ready and valid:
+            self.flag(cycle, "phase-overlap",
+                      "converter advertises ready and valid simultaneously")
+
+        # Output first: what is visible this cycle predates this cycle's input.
+        if accepted_out:
+            if not self._expected:
+                self.flag(cycle, "phantom-output",
+                          f"output 0x{out.data.value:x} accepted with no "
+                          f"element in flight")
+            else:
+                expected = self._expected.pop(0)
+                if out.data.value != expected:
+                    self.flag(cycle, "data-mismatch",
+                              f"converter emitted 0x{out.data.value:x}, plan "
+                              f"says 0x{expected:x}")
+            self.transactions += 1
+        if accepted_in:
+            if self.direction == "down":
+                self._expected.extend(self.plan.split(inp.data.value))
+            else:
+                self._beats.append(inp.data.value)
+                if len(self._beats) == self.plan.beats:
+                    self._expected.append(self.plan.join(self._beats))
+                    self._beats = []
+            self.transactions += 1
+
+        # The covergroup phase reflects the converter's *pre-edge* hardware
+        # state (the registers that gate ready/valid), not the scoreboard
+        # queue — the queue already absorbed this cycle's transfers.
+        if self.direction == "down":
+            shifting = self.converter._remaining.value != 0
+        else:
+            shifting = self.converter._collected.value == self.plan.beats
+        self._pre = {
+            "push": push, "ready": ready, "pop": pop, "valid": valid,
+            "data_out": out.data.value,
+            "accepted_in": accepted_in, "accepted_out": accepted_out,
+            "shifting": shifting,
+        }
+
+    def _post_edge(self, cycle: int) -> None:
+        pre = self._pre
+        if pre is None:
+            return
+        limit = self.plan.beats
+        pending = len(self._expected) + len(self._beats)
+        if pending > limit:
+            self.flag(cycle, "overrun",
+                      f"{pending} beats in flight, converter holds at most "
+                      f"{limit}")
+        if pre["valid"] and not pre["accepted_out"] \
+                and self._out_iface.valid.value \
+                and self._out_iface.data.value != pre["data_out"]:
+            self.flag(cycle, "data-stability",
+                      f"output changed 0x{pre['data_out']:x} -> "
+                      f"0x{self._out_iface.data.value:x} with no accepted pop")
+        self._pre = None
+
+    def observation(self) -> Dict[str, object]:
+        pre = self._pre or {}
+        if not pre:
+            return {}
+
+        def state(strobe: str, status: str) -> str:
+            if pre[strobe] and pre[status]:
+                return "accept"
+            if pre[strobe]:
+                return "blocked"
+            return "idle"
+
+        return {
+            "input": state("push", "ready"),
+            "output": state("pop", "valid"),
+            "phase": "shift" if pre["shifting"] else "load",
+        }
+
+
+class ArbiterMonitor(ProtocolMonitor):
+    """Checker for the one-hot grant protocol of the arbiter primitives.
+
+    Rules (both policies): grants are one-hot, a grant implies its request,
+    ``busy`` mirrors "any grant", and ``grant_index`` names the granted
+    requester.  Policy-specific rules: a fixed-priority arbiter must grant
+    the lowest-index active request; a round-robin arbiter must hold a
+    grant while the granted request persists (the transaction lock).
+    """
+
+    def __init__(self, name: str, arbiter, policy: str) -> None:
+        super().__init__(name)
+        if policy not in ("priority", "roundrobin"):
+            raise ValueError(f"unknown arbiter policy {policy!r}")
+        self.arbiter = arbiter
+        self.policy = policy
+        self._pre: Optional[dict] = None
+        self._last_granted: Optional[int] = None
+
+    def on_reset(self) -> None:
+        self._pre = None
+        self._last_granted = None
+
+    def pre_edge(self, cycle: int) -> None:
+        arb = self.arbiter
+        requests = [bool(req.value) for req in arb.requests]
+        grants = [bool(gnt.value) for gnt in arb.grants]
+        granted = [i for i, g in enumerate(grants) if g]
+
+        if len(granted) > 1:
+            self.flag(cycle, "one-hot", f"multiple grants active: {granted}")
+        for i in granted:
+            if not requests[i]:
+                self.flag(cycle, "grant-without-request",
+                          f"requester {i} granted while not requesting")
+        if bool(arb.busy.value) != bool(granted):
+            self.flag(cycle, "busy-mismatch",
+                      f"busy={int(arb.busy.value)} with grants {granted}")
+        if granted and arb.grant_index.value != granted[0]:
+            self.flag(cycle, "grant-index",
+                      f"grant_index={arb.grant_index.value} but grant is "
+                      f"{granted[0]}")
+        if any(requests) and not granted:
+            self.flag(cycle, "starvation",
+                      "active requests but no grant (arbitration is "
+                      "combinational)")
+
+        winner = granted[0] if granted else None
+        if self.policy == "priority" and winner is not None and any(requests):
+            lowest = requests.index(True)
+            if winner != lowest:
+                self.flag(cycle, "priority-order",
+                          f"granted {winner} while requester {lowest} "
+                          f"(higher priority) is active")
+        if self.policy == "roundrobin" and self._last_granted is not None:
+            held = self._last_granted
+            if requests[held] and winner != held:
+                self.flag(cycle, "lock-broken",
+                          f"grant moved {held} -> {winner} while requester "
+                          f"{held} still active")
+
+        if self._last_granted is not None and winner != self._last_granted:
+            self.transactions += 1
+        self._last_granted = winner
+        self._pre = {
+            "active": sum(requests),
+            "winner": winner,
+        }
+
+    def observation(self) -> Dict[str, object]:
+        pre = self._pre or {}
+        if not pre:
+            return {}
+        return {
+            "nreq": pre["active"],
+            "grant": "idle" if pre["winner"] is None else f"g{pre['winner']}",
+        }
+
+
 class ExpectedStreamMonitor(ProtocolMonitor):
     """Pipeline-output checker: accepted sink pops must match a golden stream."""
 

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..rtl import EVENT, Component, Simulator
 from .coverage import CoverageDB, CoverGroup
 from .monitor import (
+    ArbiterMonitor,
     AssocMonitor,
     ExpectedStreamMonitor,
     IteratorMonitor,
@@ -37,6 +38,7 @@ from .monitor import (
     StreamContainerMonitor,
     VerificationError,
     Violation,
+    WidthAdapterMonitor,
     WindowBufferMonitor,
 )
 from .rng import SEED_ENV, RngPool
@@ -52,6 +54,7 @@ from .scoreboard import (
 from .stimulus import (
     AssocOpDriver,
     IteratorOpDriver,
+    RequestDriver,
     StreamConstraints,
     StreamPopDriver,
     StreamPushDriver,
@@ -184,6 +187,46 @@ def _assoc_covergroup(name: str, capacity: int) -> CoverGroup:
         ("lookup_hit", "partial"), ("lookup_miss", "partial"),
         ("remove_hit", "partial"), ("insert_update", "full"),
     ])
+    return group
+
+
+def _adapter_covergroup(name: str) -> CoverGroup:
+    group = CoverGroup(name)
+    group.point("input", dict(_STATES))
+    group.point("output", dict(_STATES))
+    group.point("phase", {"load": "load", "shift": "shift"})
+    # The two sides are phase-exclusive by construction: the wide side only
+    # accepts while loading, the narrow side only delivers while shifting
+    # (and vice versa for the up-converter), so accept-in-the-wrong-phase
+    # combinations are structurally unreachable and never declared.
+    group.cross("input_x_phase", ("input", "phase"), [
+        ("accept", "load"), ("idle", "load"),
+        ("blocked", "shift"), ("idle", "shift"),
+    ])
+    group.cross("output_x_phase", ("output", "phase"), [
+        ("accept", "shift"), ("idle", "shift"),
+        ("blocked", "load"), ("idle", "load"),
+    ])
+    return group
+
+
+def _arbiter_covergroup(name: str, ways: int, policy: str) -> CoverGroup:
+    group = CoverGroup(name)
+    group.point("nreq", {"zero": 0, "one": 1, "many": (2, ways)})
+    grant_bins = {"idle": "idle"}
+    grant_bins.update({f"g{i}": f"g{i}" for i in range(ways)})
+    group.point("grant", grant_bins)
+    # Arbitration is combinational: with any request active a grant exists
+    # the same cycle, so "idle" pairs only with "zero".  Every requester
+    # must win both uncontended ("one") and contended ("many") rounds —
+    # except the lowest-priority requester of a fixed-priority arbiter,
+    # which by definition only ever wins alone (any competitor outranks
+    # it), so its "many" combination is structurally unreachable.
+    combos = [("zero", "idle")]
+    combos += [("one", f"g{i}") for i in range(ways)]
+    contendable = ways - 1 if policy == "priority" else ways
+    combos += [("many", f"g{i}") for i in range(contendable)]
+    group.cross("nreq_x_grant", ("nreq", "grant"), combos)
     return group
 
 
@@ -370,6 +413,71 @@ def _assoc_bench(pool: RngPool) -> _Bench:
     return _Bench(container, [driver], [monitor], group, monitor.observation)
 
 
+# -- metagen components: width adapters and arbiters --------------------------
+
+
+def _adapter_bench(pool: RngPool, direction: str, element_width: int = 24,
+                   bus_width: int = 8) -> _Bench:
+    from ..metagen import WidthDownConverter, WidthUpConverter
+
+    name = f"adapter/{direction}"
+    if direction == "down":
+        converter = WidthDownConverter("dut", element_width=element_width,
+                                       bus_width=bus_width)
+        in_iface, out_iface = converter.wide_in, converter.narrow_out
+        push_max = (1 << element_width) - 1
+    else:
+        converter = WidthUpConverter("dut", element_width=element_width,
+                                     bus_width=bus_width)
+        in_iface, out_iface = converter.narrow_in, converter.wide_out
+        push_max = (1 << bus_width) - 1
+    monitor = WidthAdapterMonitor(name, converter, direction)
+    # Push gaps longer than one serialisation (beats) so the idle-while-
+    # loadable coverage goal is reachable: a short gap would always be
+    # swallowed by the shift phase of the previous element.
+    push = StreamPushDriver(in_iface, pool.stream("stimulus.fill"),
+                            StreamConstraints(burst=(1, 4), gap=(0, 7),
+                                              data_max=push_max))
+    pop = StreamPopDriver(out_iface, pool.stream("stimulus.drain"),
+                          StreamConstraints(burst=(1, 5), gap=(0, 3)))
+    group = _adapter_covergroup(name)
+    return _Bench(converter, [push, pop], [monitor], group,
+                  monitor.observation)
+
+
+@_register("adapter/down", 1500)
+def _adapter_down_bench(pool: RngPool) -> _Bench:
+    return _adapter_bench(pool, "down")
+
+
+@_register("adapter/up", 1500)
+def _adapter_up_bench(pool: RngPool) -> _Bench:
+    return _adapter_bench(pool, "up")
+
+
+def _arbiter_bench(pool: RngPool, policy: str, ways: int = 3) -> _Bench:
+    from ..primitives import PriorityArbiter, RoundRobinArbiter
+
+    arbiter_cls = RoundRobinArbiter if policy == "roundrobin" else PriorityArbiter
+    arbiter = arbiter_cls("dut", ways)
+    name = f"arbiter/{policy}"
+    monitor = ArbiterMonitor(name, arbiter, policy)
+    driver = RequestDriver(arbiter.requests, pool.stream("stimulus.requests"),
+                           hold=(1, 4), idle=(0, 3))
+    group = _arbiter_covergroup(name, ways, policy)
+    return _Bench(arbiter, [driver], [monitor], group, monitor.observation)
+
+
+@_register("arbiter/priority", 1500)
+def _arbiter_priority_bench(pool: RngPool) -> _Bench:
+    return _arbiter_bench(pool, "priority")
+
+
+@_register("arbiter/roundrobin", 1500)
+def _arbiter_roundrobin_bench(pool: RngPool) -> _Bench:
+    return _arbiter_bench(pool, "roundrobin")
+
+
 # -- pipeline designs --------------------------------------------------------
 
 
@@ -445,14 +553,36 @@ _make_design_target("design/saa2vga-sram", 4000, _saa2vga_factory("sram"))
 _make_design_target("design/blur", 2500, _blur_factory)
 
 
+@_register("design/flow-dualpath", 3000)
+def _flow_dualpath_bench(pool: RngPool) -> _Bench:
+    """An elaborated pipeline graph, verified like any design — plus one
+    FIFO-ordered protocol monitor per elastic edge of the graph."""
+    from ..designs import build_dual_path_saa2vga
+    from ..flow import edge_monitors
+
+    # Tight buffers on purpose: the input-blocked coverage goal needs the
+    # whole pipeline to back-pressure within the session's random gaps.
+    design = build_dual_path_saa2vga(name="dut", capacity=4, fifo_depth=2)
+    bench = _pipeline_bench(pool, design, group_name="design/flow-dualpath")
+    bench.monitors.extend(edge_monitors(design))
+    return bench
+
+
 def container_targets() -> List[str]:
     """Names of every registered container-binding target."""
-    return [name for name in TARGETS if not name.startswith("design/")]
+    return [name for name in TARGETS
+            if not name.startswith(("design/", "adapter/", "arbiter/"))]
 
 
 def design_targets() -> List[str]:
     """Names of every registered pipeline-design target."""
     return [name for name in TARGETS if name.startswith("design/")]
+
+
+def metagen_targets() -> List[str]:
+    """Names of the standalone width-adapter and arbiter targets."""
+    return [name for name in TARGETS
+            if name.startswith(("adapter/", "arbiter/"))]
 
 
 # ---------------------------------------------------------------------------

@@ -170,6 +170,45 @@ class StreamPopDriver:
             self.received.append(data.value if data is not None else 0)
 
 
+class RequestDriver:
+    """Drive a bank of 1-bit request lines with random hold/idle spans.
+
+    Each line independently alternates between an asserted span (the
+    requester wanting the resource) and an idle span, with lengths drawn
+    from the given inclusive ranges — producing the single-requester,
+    contended and all-idle arbitration situations a covergroup wants to
+    see.  The driver also counts, per line, how many request spans
+    completed, so fairness checks have a denominator.
+    """
+
+    def __init__(self, requests, rng: Random,
+                 hold: Sequence[int] = (1, 4),
+                 idle: Sequence[int] = (0, 3)) -> None:
+        self.requests = list(requests)
+        self.rng = rng
+        self.hold = hold
+        self.idle = idle
+        #: Per line: (asserted?, cycles left in the current span).
+        self._state: List[List[int]] = [[0, 0] for _ in self.requests]
+        self.spans: List[int] = [0] * len(self.requests)
+
+    def drive(self, cycle: int) -> None:
+        for i, line in enumerate(self.requests):
+            asserted, left = self._state[i]
+            if left <= 0:
+                if asserted:
+                    self.spans[i] += 1
+                asserted = 0 if asserted else 1
+                left = self.rng.randint(*(self.hold if asserted else self.idle))
+                if asserted and left < 1:
+                    left = 1
+            self._state[i] = [asserted, left - 1]
+            line.force(asserted)
+
+    def observe(self, cycle: int) -> None:
+        """Nothing to record: the monitor watches the grant side."""
+
+
 class IteratorOpDriver:
     """Drive a :class:`IteratorIface` with a weighted operation mix.
 

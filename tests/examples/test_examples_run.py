@@ -23,6 +23,8 @@ EXPECTATIONS = {
     "design_space_explorer.py": ["Pareto front", "recommendations"],
     "batch_sweep.py": ["Batched sweep", "points verified", "memo hits",
                        "cheapest point", "fastest point"],
+    "pipeline_compose.py": ["BIT-EXACT", "auto-inserted adapters",
+                            "histogram", "element-fair split"],
 }
 
 

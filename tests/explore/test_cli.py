@@ -1,0 +1,84 @@
+"""The ``python -m repro.explore`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.explore.__main__ import main
+
+
+def test_design_grid_from_cli_flags(capsys):
+    status = main(["--designs", "saa2vga", "--bindings", "fifo",
+                   "--capacities", "16", "--frames", "10x6"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "saa2vga" in out
+    assert "1 point(s) evaluated" in out
+
+
+def test_pipeline_axes_from_cli_flags(capsys):
+    status = main(["--pipelines", "chain", "--stages", "1", "2",
+                   "--fifo-depths", "2", "--frames", "8x4"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "flow/chain" in out
+    assert "s1.d2.b8" in out and "s2.d2.b8" in out
+    # Pipeline-only flags must not drag the design grid in.
+    assert "saa2vga" not in out
+
+
+def test_grid_spec_file_and_json_artifact(tmp_path, capsys):
+    spec = {
+        "designs": ["saa2vga"],
+        "bindings": ["fifo"],
+        "capacities": [8],
+        "frames": ["8x4"],
+        "pipelines": {"topologies": ["dualpath"], "fifo_depths": [2],
+                      "frames": [[8, 4]]},
+    }
+    spec_path = tmp_path / "grid.json"
+    spec_path.write_text(json.dumps(spec))
+    out_path = tmp_path / "results.json"
+    status = main(["--grid", str(spec_path), "--json", str(out_path)])
+    assert status == 0
+    payload = json.loads(out_path.read_text())
+    designs = {row["design"] for row in payload["rows"]}
+    assert designs == {"saa2vga", "flow/dualpath"}
+    assert payload["points"] == 2
+
+
+def test_cli_flags_override_spec_file(tmp_path, capsys):
+    spec_path = tmp_path / "grid.json"
+    spec_path.write_text(json.dumps({"designs": ["saa2vga"],
+                                     "capacities": [8, 16]}))
+    status = main(["--grid", str(spec_path), "--capacities", "4",
+                   "--bindings", "fifo", "--frames", "8x4"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "1 point(s) evaluated" in out
+
+
+def test_default_invocation_runs_the_default_grid(capsys):
+    assert main(["--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert out == ""
+
+
+def test_verify_flag_adds_coverage_columns(capsys):
+    status = main(["--designs", "saa2vga", "--bindings", "fifo",
+                   "--capacities", "8", "--frames", "8x4",
+                   "--verify", "--verify-cycles", "400"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "cov%" in out
+    assert "functional coverage" in out
+
+
+def test_bad_frame_spec_exits_with_usage_error():
+    with pytest.raises(SystemExit):
+        main(["--designs", "saa2vga", "--frames", "16by12"])
+
+
+def test_empty_grid_is_an_error(capsys):
+    status = main(["--designs", "saa2vga", "--bindings", "linebuffer"])
+    assert status == 2

@@ -1,0 +1,171 @@
+"""Elaboration: adapter auto-insertion, legacy equivalence, monitors, synth."""
+
+import pytest
+
+from repro.designs import (
+    VideoSystem,
+    build_dual_path_saa2vga,
+    build_rgb_over_bus_pipeline,
+    build_saa2vga_pattern,
+)
+from repro.flow import PipelineGraph, edge_monitors
+from repro.metagen import WidthDownConverter, WidthUpConverter
+from repro.rtl import Simulator
+from repro.synth import estimate_design
+from repro.video import flatten, random_frame
+
+
+# -- automatic width adaptation ----------------------------------------------
+
+
+def test_adapters_inserted_when_endpoint_widths_disagree():
+    pipeline = build_rgb_over_bus_pipeline()
+    kinds = [type(a) for a in pipeline.adapters]
+    assert kinds == [WidthDownConverter, WidthUpConverter]
+    plans = pipeline.adaptation_plans()
+    assert [(p.element_width, p.bus_width, p.beats) for p in plans] == \
+        [(24, 8, 3), (24, 8, 3)]
+
+
+def test_no_adapters_when_widths_agree():
+    pipeline = build_dual_path_saa2vga()
+    assert pipeline.adapters == []
+
+
+def test_explicit_bus_width_forces_adapter_pair_on_one_edge():
+    """Matching 24-bit endpoints over a forced 8-bit bus: down + up on the
+    same edge, FIFO buffering the narrow beats."""
+    g = PipelineGraph("bus", input_width=24, output_width=24)
+    node = g.stage(build_saa2vga_pattern("fifo", width=24, capacity=4),
+                   name="copy")
+    g.connect(g.INPUT, node, depth=4, bus_width=8)
+    g.connect(node, g.OUTPUT, depth=0)
+    pipeline = g.elaborate()
+    assert [type(a) for a in pipeline.adapters] == \
+        [WidthDownConverter, WidthUpConverter]
+    [channel] = pipeline.channels
+    assert channel.width == 8          # the FIFO sits on the narrow bus
+    frame = random_frame(6, 4, seed=3, max_value=(1 << 24) - 1)
+    from repro.designs import run_stream_through
+
+    result = run_stream_through(pipeline, frame)
+    assert result["pixels"] == flatten(frame)
+
+
+def test_mixed_width_stage_chain_adapts_each_edge():
+    """8-bit front stage feeding a 16-bit back stage: one up-converter."""
+    g = PipelineGraph("mix", input_width=8, output_width=16)
+    front = g.stage(build_saa2vga_pattern("fifo", width=8, capacity=4),
+                    name="front")
+    back = g.stage(build_saa2vga_pattern("fifo", width=16, capacity=4),
+                   name="back")
+    g.connect(g.INPUT, front, depth=0)
+    g.connect(front, back, depth=2)
+    g.connect(back, g.OUTPUT, depth=0)
+    pipeline = g.elaborate()
+    assert [type(a) for a in pipeline.adapters] == [WidthUpConverter]
+    from repro.designs import run_stream_through
+    from repro.video.pixel import join_word
+
+    frame = random_frame(8, 4, seed=5)
+    pixels = flatten(frame)
+    expected = [join_word(pixels[i:i + 2], 8)
+                for i in range(0, len(pixels), 2)]
+    result = run_stream_through(pipeline, frame,
+                                expected_outputs=len(expected))
+    assert result["pixels"] == expected
+
+
+# -- the legacy harness is a two-edge special case ----------------------------
+
+
+def test_video_system_via_flow_is_cycle_identical_to_legacy():
+    frame = random_frame(10, 6, seed=7)
+    pixels = flatten(frame)
+
+    legacy = VideoSystem(build_saa2vga_pattern("fifo", capacity=8),
+                         frames=[frame])
+    legacy_sim = legacy.simulate(len(pixels), max_cycles=50_000)
+
+    flowed = VideoSystem.via_flow(build_saa2vga_pattern("fifo", capacity=8),
+                                  frames=[frame])
+    flow_sim = flowed.simulate(len(pixels), max_cycles=50_000)
+
+    assert flowed.received_pixels() == legacy.received_pixels() == pixels
+    assert flow_sim.cycles == legacy_sim.cycles
+
+
+def test_flow_graph_helper_builds_two_wire_edges():
+    graph = VideoSystem.flow_graph(build_saa2vga_pattern("fifo", capacity=8))
+    assert len(graph.edges) == 2
+    assert all(edge.depth == 0 for edge in graph.edges)
+    pipeline = graph.elaborate()
+    assert pipeline.channels == [] and pipeline.adapters == []
+
+
+def test_video_system_rejects_negative_stalls():
+    design = build_saa2vga_pattern("fifo", capacity=8)
+    with pytest.raises(ValueError, match="source_stall"):
+        VideoSystem(design, source_stall=-1)
+    design = build_saa2vga_pattern("fifo", capacity=8)
+    with pytest.raises(ValueError, match="sink_stall"):
+        VideoSystem(design, sink_stall=-2)
+
+
+# -- per-edge verification monitors -------------------------------------------
+
+
+def test_edge_monitors_cover_every_elastic_channel():
+    pipeline = build_dual_path_saa2vga(fifo_depth=4)
+    monitors = edge_monitors(pipeline)
+    assert len(monitors) == len(pipeline.channels) == 4
+
+    frame = random_frame(8, 4, seed=11)
+    pixels = flatten(frame)
+    system = VideoSystem(pipeline, frames=[frame])
+    sim = Simulator(system)
+    for monitor in monitors:
+        monitor.attach(sim)
+    cycle = 0
+    while system.sink.count < len(pixels) and cycle < 10_000:
+        sim.settle()
+        for monitor in monitors:
+            monitor.pre_edge(sim.cycles)
+        sim.step()
+        cycle += 1
+    assert system.received_pixels() == pixels
+    for monitor in monitors:
+        assert monitor.ok, monitor.violations[:3]
+        assert monitor.transactions > 0
+    for monitor in monitors:
+        monitor.detach()
+
+
+# -- synthesis aggregation ----------------------------------------------------
+
+
+def test_pipeline_area_aggregates_over_nodes_and_channels():
+    single = estimate_design(build_saa2vga_pattern("fifo", capacity=8))
+    dual = estimate_design(build_dual_path_saa2vga(capacity=8))
+    # Two copy paths plus split/merge/channels must cost more than one path.
+    assert dual.total.ffs > single.total.ffs
+    assert dual.total.total_luts > single.total.total_luts
+    paths = {entry.path for entry in dual.components}
+    assert any(".split" in path for path in paths)
+    assert any("_ch" in path for path in paths)
+
+
+def test_pipeline_shell_is_transparent_wiring():
+    pipeline = build_dual_path_saa2vga()
+    report = estimate_design(pipeline)
+    shell = next(entry for entry in report.components
+                 if entry.path == pipeline.name)
+    assert shell.transparent
+    assert shell.resources.ffs == 0 and shell.resources.luts == 0
+
+
+def test_describe_summarises_topology():
+    info = build_rgb_over_bus_pipeline().describe()
+    assert info["auto_adapters"] == 2
+    assert info["channels"] == 2
+    assert any(edge["adapters"] for edge in info["edges"])

@@ -1,0 +1,187 @@
+"""Graph API and topology validation of ``repro.flow``."""
+
+import pytest
+
+from repro.core import make_container
+from repro.designs import build_saa2vga_pattern
+from repro.flow import GraphError, PipelineGraph, stream_ports
+from repro.metagen import WidthDownConverter
+
+
+def two_stage_graph(depth=2):
+    g = PipelineGraph("g", input_width=8, output_width=8)
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    b = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="b")
+    g.connect(g.INPUT, a, depth=0)
+    g.connect(a, b, depth=depth)
+    g.connect(b, g.OUTPUT, depth=0)
+    return g
+
+
+# -- port discovery -----------------------------------------------------------
+
+
+def test_designs_expose_canonical_in_out_ports():
+    design = build_saa2vga_pattern("fifo", capacity=4)
+    ins, outs = stream_ports(design)
+    assert set(ins) == {"in"} and ins["in"] is design.input_fill
+    assert set(outs) == {"out"} and outs["out"] is design.output_drain
+
+
+def test_bare_containers_are_valid_stages():
+    queue = make_container("queue", "fifo", "q", width=8, capacity=4)
+    ins, outs = stream_ports(queue)
+    assert ins["sink"] is queue.sink
+    assert outs["source"] is queue.source
+
+
+def test_width_converters_are_valid_stages():
+    conv = WidthDownConverter("conv", element_width=24, bus_width=8)
+    ins, outs = stream_ports(conv)
+    assert ins["wide_in"] is conv.wide_in
+    assert outs["narrow_out"] is conv.narrow_out
+
+
+def test_structural_nodes_expose_flow_ports():
+    g = PipelineGraph("g")
+    fork = g.fork("f", width=8, ways=3)
+    assert set(fork.inputs) == {"in"}
+    assert set(fork.outputs) == {"out0", "out1", "out2"}
+
+
+# -- construction errors ------------------------------------------------------
+
+
+def test_duplicate_node_names_rejected():
+    g = PipelineGraph("g")
+    g.stage(build_saa2vga_pattern("fifo", capacity=4), name="x")
+    with pytest.raises(GraphError, match="duplicate"):
+        g.stage(build_saa2vga_pattern("fifo", capacity=4), name="x")
+
+
+def test_parented_component_rejected():
+    g = PipelineGraph("g")
+    design = build_saa2vga_pattern("fifo", capacity=4)
+    g.stage(design, name="ok")
+    with pytest.raises(GraphError, match="parent"):
+        PipelineGraph("g2").stage(design.rbuffer, name="stolen")
+
+
+def test_component_without_stream_ports_rejected():
+    from repro.rtl import Component
+
+    with pytest.raises(GraphError, match="no stream interfaces"):
+        PipelineGraph("g").stage(Component("bare"))
+
+
+def test_bad_depth_rejected():
+    g = PipelineGraph("g")
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    with pytest.raises(GraphError, match="depth"):
+        g.connect(g.INPUT, a, depth=1)
+    with pytest.raises(GraphError, match="depth"):
+        g.connect(g.INPUT, a, depth=-3)
+
+
+def test_double_driven_output_rejected():
+    g = PipelineGraph("g")
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    b = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="b")
+    c = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="c")
+    g.connect(a, b)
+    with pytest.raises(GraphError, match="Fork"):
+        g.connect(a, c, src_port="out")
+
+
+def test_double_connected_graph_boundary_rejected():
+    g = PipelineGraph("g")
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    b = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="b")
+    g.connect(g.INPUT, a)
+    with pytest.raises(GraphError, match="already connected"):
+        g.connect(g.INPUT, b)
+
+
+def test_unknown_ports_and_nodes_rejected():
+    g = PipelineGraph("g")
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    with pytest.raises(GraphError, match="no output port"):
+        g.connect(a, g.OUTPUT, src_port="nope")
+    with pytest.raises(GraphError, match="unknown node"):
+        g.connect("ghost", g.OUTPUT)
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def test_valid_graph_passes_validation():
+    two_stage_graph().validate()
+
+
+def test_dangling_input_detected():
+    g = PipelineGraph("g", input_width=8)
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    b = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="b")
+    g.connect(g.INPUT, a)
+    g.connect(a, g.OUTPUT)
+    with pytest.raises(GraphError, match="dangling input port b.in"):
+        g.validate()
+
+
+def test_dangling_output_detected_and_open_opt_out():
+    g = PipelineGraph("g", input_width=8)
+    split = g.split("split", width=8, ways=2)
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    b = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="b")
+    g.connect(g.INPUT, split)
+    g.connect(split, a)
+    g.connect(split, b)
+    g.connect(a, g.OUTPUT)
+    # b.out is dangling -> error.
+    with pytest.raises(GraphError, match="dangling output port b.out"):
+        g.validate()
+    g.open_output(b)
+    g.validate()
+
+
+def test_missing_boundary_detected():
+    g = PipelineGraph("g")
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    g.connect(a, g.OUTPUT)
+    with pytest.raises(GraphError, match="graph input"):
+        g.validate()
+
+
+def test_cycle_detected():
+    g = PipelineGraph("g", input_width=8)
+    fork = g.fork("fork", width=8, ways=2)
+    merge = g.merge("merge", width=8, ways=2)
+    g.connect(g.INPUT, merge)
+    g.connect(merge, fork)
+    g.connect(fork, g.OUTPUT, src_port="out0")
+    g.connect(fork, merge, src_port="out1")  # back edge: cycle
+    with pytest.raises(GraphError, match="cycle"):
+        g.validate()
+
+
+def test_non_divisible_width_mismatch_rejected():
+    g = PipelineGraph("g", input_width=10)
+    a = g.stage(build_saa2vga_pattern("fifo", width=8, capacity=4), name="a")
+    g.connect(g.INPUT, a)
+    g.connect(a, g.OUTPUT)
+    with pytest.raises(GraphError, match="not a multiple"):
+        g.validate()
+
+
+def test_auto_port_picking_follows_declaration_order():
+    g = PipelineGraph("g", input_width=8)
+    fork = g.fork("fork", width=8, ways=2)
+    a = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="a")
+    b = g.stage(build_saa2vga_pattern("fifo", capacity=4), name="b")
+    g.connect(g.INPUT, fork)
+    first = g.connect(fork, a)
+    second = g.connect(fork, b)
+    assert first.src_port == "out0"
+    assert second.src_port == "out1"
+    with pytest.raises(GraphError, match="no free output port"):
+        g.connect(fork, g.OUTPUT)

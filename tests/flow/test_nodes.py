@@ -1,0 +1,183 @@
+"""Unit behaviour of the structural pipeline nodes and the stream channel."""
+
+import pytest
+
+from repro.flow import Fork, Join, RoundRobinMerge, RoundRobinSplit, StreamChannel
+from repro.rtl import Simulator
+
+
+def push_cycle(sim, iface, value):
+    """Offer ``value`` for one cycle; True when it was accepted."""
+    iface.data.force(value)
+    iface.push.force(1)
+    sim.settle()
+    accepted = bool(iface.ready.value)
+    sim.step()
+    iface.push.force(0)
+    return accepted
+
+
+def pop_cycle(sim, iface):
+    """Pop for one cycle; returns the accepted value or None."""
+    iface.pop.force(1)
+    sim.settle()
+    value = iface.data.value if iface.valid.value else None
+    sim.step()
+    iface.pop.force(0)
+    return value
+
+
+# -- StreamChannel ------------------------------------------------------------
+
+
+def test_channel_is_fifo_ordered_with_backpressure():
+    ch = StreamChannel("ch", width=8, depth=2)
+    sim = Simulator(ch)
+    assert push_cycle(sim, ch.fill, 0xAA)
+    assert push_cycle(sim, ch.fill, 0xBB)
+    assert not push_cycle(sim, ch.fill, 0xCC)  # full
+    assert ch.occupancy == 2
+    assert ch.snapshot() == [0xAA, 0xBB]
+    assert pop_cycle(sim, ch.drain) == 0xAA
+    assert pop_cycle(sim, ch.drain) == 0xBB
+    assert pop_cycle(sim, ch.drain) is None
+    assert ch.occupancy == 0
+
+
+def test_channel_rejects_degenerate_depths():
+    with pytest.raises(ValueError):
+        StreamChannel("ch", width=8, depth=1)
+    with pytest.raises(ValueError):
+        StreamChannel("ch", width=8, depth=0)
+
+
+# -- Fork ---------------------------------------------------------------------
+
+
+def test_fork_broadcasts_to_every_output():
+    fork = Fork("f", width=8, ways=2)
+    sim = Simulator(fork)
+    assert push_cycle(sim, fork.fill, 7)
+    # Both outputs present the element; a second push is blocked until both
+    # consumers took it.
+    sim.settle()
+    assert fork.outs[0].valid.value and fork.outs[1].valid.value
+    assert not push_cycle(sim, fork.fill, 9)
+    assert pop_cycle(sim, fork.outs[0]) == 7
+    sim.settle()
+    assert not fork.outs[0].valid.value          # out0 already served
+    assert fork.outs[1].valid.value              # out1 still owed
+    assert not push_cycle(sim, fork.fill, 9)     # still blocked on out1
+    assert pop_cycle(sim, fork.outs[1]) == 7
+    assert push_cycle(sim, fork.fill, 9)         # now accepted
+
+
+def test_fork_needs_two_ways():
+    with pytest.raises(ValueError):
+        Fork("f", width=8, ways=1)
+
+
+# -- RoundRobinSplit / RoundRobinMerge ---------------------------------------
+
+
+def test_split_alternates_outputs_in_rotation():
+    split = RoundRobinSplit("s", width=8, ways=2)
+    sim = Simulator(split)
+    taken = []
+    for value in (1, 2, 3, 4):
+        split.fill.data.force(value)
+        split.fill.push.force(1)
+        for out in split.outs:
+            out.pop.force(1)
+        sim.settle()
+        for i, out in enumerate(split.outs):
+            if out.valid.value:
+                taken.append((i, out.data.value))
+        sim.step()
+    assert taken == [(0, 1), (1, 2), (0, 3), (1, 4)]
+
+
+def test_merge_collects_in_rotation():
+    merge = RoundRobinMerge("m", width=8, ways=2)
+    sim = Simulator(merge)
+    sent = {0: [10, 30], 1: [20, 40]}
+    received = []
+    merge.out.pop.force(1)
+    for _ in range(12):
+        for i, port in enumerate(merge.ins):
+            if sent[i]:
+                port.data.force(sent[i][0])
+                port.push.force(1)
+            else:
+                port.push.force(0)
+        sim.settle()
+        if merge.out.valid.value:
+            received.append(merge.out.data.value)
+        for i, port in enumerate(merge.ins):
+            if port.push.value and port.ready.value:
+                sent[i].pop(0)
+        sim.step()
+        if len(received) == 4:
+            break
+    assert received == [10, 20, 30, 40]
+
+
+def test_split_merge_pair_preserves_order():
+    """The defining property: split -> (anything FIFO) -> merge is identity."""
+    from repro.designs import build_dual_path_saa2vga, run_stream_through
+    from repro.video import random_frame, flatten
+
+    frame = random_frame(9, 5, seed=21)
+    result = run_stream_through(build_dual_path_saa2vga(), frame)
+    assert result["pixels"] == flatten(frame)
+
+
+# -- Join ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["priority", "roundrobin"])
+def test_join_merges_everything_exactly_once(policy):
+    join = Join("j", width=8, ways=2, policy=policy)
+    sim = Simulator(join)
+    sent = {0: [1, 2, 3], 1: [9, 8, 7]}
+    received = []
+    join.out.pop.force(1)
+    for _ in range(20):
+        for i, port in enumerate(join.ins):
+            if sent[i]:
+                port.data.force(sent[i][0])
+                port.push.force(1)
+            else:
+                port.push.force(0)
+        sim.settle()
+        if join.out.valid.value:
+            received.append(join.out.data.value)
+        for i, port in enumerate(join.ins):
+            if port.push.value and port.ready.value:
+                sent[i].pop(0)
+        sim.step()
+        if not sent[0] and not sent[1]:
+            break
+    assert sorted(received) == [1, 2, 3, 7, 8, 9]
+    # Per-input order is preserved even though the interleaving is not.
+    assert [v for v in received if v in (1, 2, 3)] == [1, 2, 3]
+    assert [v for v in received if v in (7, 8, 9)] == [9, 8, 7]
+
+
+def test_join_priority_prefers_lowest_index():
+    join = Join("j", width=8, ways=2, policy="priority")
+    sim = Simulator(join)
+    join.ins[0].data.force(5)
+    join.ins[0].push.force(1)
+    join.ins[1].data.force(6)
+    join.ins[1].push.force(1)
+    join.out.pop.force(1)
+    sim.settle()
+    assert join.out.valid.value
+    assert join.out.data.value == 5
+    assert join.ins[0].ready.value and not join.ins[1].ready.value
+
+
+def test_join_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="policy"):
+        Join("j", width=8, ways=2, policy="coin-toss")

@@ -1,0 +1,97 @@
+"""Pipeline-composition axes through the existing exploration runner."""
+
+from repro.explore import (
+    ExplorationRunner,
+    PipelinePoint,
+    comparison_report,
+    expand_pipeline_grid,
+    is_valid_pipeline_point,
+    results_table,
+)
+
+
+def test_expand_pipeline_grid_is_deterministic_and_validated():
+    points = expand_pipeline_grid(topologies=("chain", "dualpath", "rgbbus"),
+                                  stages=(1, 2), fifo_depths=(2, 4),
+                                  bus_widths=(8,), frame_sizes=((8, 4),))
+    assert points == expand_pipeline_grid(
+        topologies=("chain", "dualpath", "rgbbus"), stages=(1, 2),
+        fifo_depths=(2, 4), bus_widths=(8,), frame_sizes=((8, 4),))
+    # chain sweeps both depths; dualpath/rgbbus keep their fixed depth 2.
+    chains = [p for p in points if p.topology == "chain"]
+    assert {p.stages for p in chains} == {1, 2}
+    assert all(p.stages == 2 for p in points if p.topology != "chain")
+
+
+def test_invalid_pipeline_points_are_dropped_with_reasons():
+    ok, reason = is_valid_pipeline_point(PipelinePoint(topology="rgbbus",
+                                                       bus_width=7))
+    assert not ok and "dividing 24" in reason
+    ok, reason = is_valid_pipeline_point(PipelinePoint(fifo_depth=1))
+    assert not ok and "FIFO depth" in reason
+    ok, reason = is_valid_pipeline_point(PipelinePoint(topology="warp"))
+    assert not ok and "unknown topology" in reason
+    assert expand_pipeline_grid(topologies=("rgbbus",), bus_widths=(7,)) == []
+
+
+def test_pipeline_points_run_through_the_standard_runner():
+    points = expand_pipeline_grid(topologies=("chain",), stages=(1, 2),
+                                  fifo_depths=(2,), frame_sizes=((8, 4),))
+    runner = ExplorationRunner(max_cycles=100_000)
+    results = runner.run(points)
+    assert len(results) == 2
+    for result in results:
+        assert result.verified
+        assert result.ffs > 0 and result.throughput > 0
+    # Deeper pipelines cost proportionally more area.
+    by_stages = {res.point.stages: res for res in results}
+    assert by_stages[2].ffs > by_stages[1].ffs
+
+    # Memoization: a repeated sweep is served from cache.
+    before = runner.evaluations
+    again = runner.run(points)
+    assert runner.evaluations == before
+    assert again == results
+
+
+def test_narrow_bus_points_scale_their_stimulus():
+    """A sub-8-bit datapath must be fed values that fit it; the point pins
+    the stimulus ceiling so the identity golden model holds."""
+    from repro.explore.runner import evaluate_point
+
+    point = PipelinePoint(topology="chain", stages=1, fifo_depth=2,
+                          bus_width=4, frame_width=8, frame_height=4)
+    assert point.stimulus_max_value == 0xF
+    result = evaluate_point(point, max_cycles=100_000)
+    assert result.verified
+
+
+def test_rgbbus_point_exercises_adapters_in_a_sweep():
+    [point] = expand_pipeline_grid(topologies=("rgbbus",),
+                                   frame_sizes=((6, 4),))
+    assert point.pixel_format == "rgb24"
+    runner = ExplorationRunner(max_cycles=200_000)
+    [result] = runner.run([point])
+    assert result.verified
+
+
+def test_pipeline_rows_render_in_reports():
+    points = expand_pipeline_grid(topologies=("dualpath",),
+                                  fifo_depths=(2,), frame_sizes=((8, 4),))
+    runner = ExplorationRunner(max_cycles=100_000)
+    results = runner.run(points)
+    rows = results_table(results)
+    assert rows[0]["design"] == "flow/dualpath"
+    assert rows[0]["binding"] == "s2.d2.b8"
+    report = comparison_report(results, title="Pipelines.")
+    assert "flow/dualpath" in report
+
+
+def test_pipeline_points_memoize_with_verification_config():
+    points = expand_pipeline_grid(topologies=("dualpath",), fifo_depths=(2,),
+                                  frame_sizes=((8, 4),))
+    runner = ExplorationRunner(max_cycles=100_000, verify=True,
+                               verify_cycles=400)
+    [result] = runner.run(points)
+    assert result.coverage_pct is not None
+    assert result.coverage_violations == 0

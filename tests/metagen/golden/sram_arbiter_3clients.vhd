@@ -1,0 +1,66 @@
+-- Generated arbitration logic: 3 clients sharing one external SRAM (round-robin)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity sram_arbiter is
+  port (
+    -- clock and reset
+    clk : in std_logic;
+    rst : in std_logic;
+    -- client ports
+    c0_addr : in std_logic_vector(9 downto 0);
+    c0_wdata : in std_logic_vector(7 downto 0);
+    c0_we : in std_logic;
+    c0_req : in std_logic;
+    c0_ack : out std_logic;
+    c0_rdata : out std_logic_vector(7 downto 0);
+    c1_addr : in std_logic_vector(9 downto 0);
+    c1_wdata : in std_logic_vector(7 downto 0);
+    c1_we : in std_logic;
+    c1_req : in std_logic;
+    c1_ack : out std_logic;
+    c1_rdata : out std_logic_vector(7 downto 0);
+    c2_addr : in std_logic_vector(9 downto 0);
+    c2_wdata : in std_logic_vector(7 downto 0);
+    c2_we : in std_logic;
+    c2_req : in std_logic;
+    c2_ack : out std_logic;
+    c2_rdata : out std_logic_vector(7 downto 0);
+    -- memory interface
+    p_addr : out std_logic_vector(9 downto 0);
+    p_data : in std_logic_vector(7 downto 0);
+    p_wdata : out std_logic_vector(7 downto 0);
+    p_we : out std_logic;
+    req : out std_logic;
+    ack : in std_logic
+  );
+end sram_arbiter;
+
+architecture generated of sram_arbiter is
+  signal grant : std_logic_vector(1 downto 0);
+  signal grant_locked : std_logic;
+begin
+  with grant select p_addr <=
+    c0_addr when "00",
+    c1_addr when "01",
+    c2_addr when "10",
+    (others => '0') when others;
+  -- round-robin pointer rotates past the last granted client
+  rotate: process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        grant <= (others => '0');
+      elsif ack = '1' then
+        grant <= std_logic_vector(unsigned(grant) + 1);
+      end if;
+    end if;
+  end process;
+  c0_ack <= ack when unsigned(grant) = 0 else '0';
+  c0_rdata <= p_data;
+  c1_ack <= ack when unsigned(grant) = 1 else '0';
+  c1_rdata <= p_data;
+  c2_ack <= ack when unsigned(grant) = 2 else '0';
+  c2_rdata <= p_data;
+end generated;

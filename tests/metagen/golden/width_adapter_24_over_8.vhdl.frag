@@ -1,0 +1,18 @@
+-- width adaptation: 24-bit element over a 8-bit bus (3 beats per element)
+signal beat_count : unsigned(1 downto 0);
+signal shift_reg  : std_logic_vector(23 downto 0);
+adapt: process(clk)
+begin
+  if rising_edge(clk) then
+    if beat_accepted = '1' then
+      shift_reg <= shift_reg(15 downto 0) & p_data;
+      if beat_count = 2 then
+        beat_count   <= (others => '0');
+        element_done <= '1';
+      else
+        beat_count   <= beat_count + 1;
+        element_done <= '0';
+      end if;
+    end if;
+  end if;
+end process;

@@ -1,0 +1,65 @@
+"""Golden-file tests for metagen VHDL emission.
+
+The unit tests in ``test_vhdl_emitter.py`` / ``test_width_adapter.py``
+check structural properties; these tests pin the *exact* emitted text of
+the width-adaptation fragment and the generated arbiter, end to end.  Any
+intentional change to the generators must update the golden files in
+``tests/metagen/golden/`` — regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/metagen/test_golden_vhdl.py
+
+and review the diff like any other code change.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.metagen import WidthAdaptationPlan, generate_arbiter_vhdl, check_balanced
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+
+def check_golden(name: str, emitted: str) -> None:
+    path = GOLDEN_DIR / name
+    emitted = emitted.rstrip("\n") + "\n"
+    if REGEN:
+        path.write_text(emitted, encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), f"golden file {path} missing (REPRO_REGEN_GOLDEN=1)"
+    golden = path.read_text(encoding="utf-8")
+    assert emitted == golden, (
+        f"emitted VHDL for {name} differs from the golden file; if the "
+        f"change is intentional, regenerate with REPRO_REGEN_GOLDEN=1")
+
+
+def test_width_adaptation_fragment_24_over_8_matches_golden():
+    plan = WidthAdaptationPlan(element_width=24, bus_width=8)
+    assert plan.beats == 3
+    check_golden("width_adapter_24_over_8.vhdl.frag", plan.vhdl_fragment())
+
+
+def test_width_adaptation_fragment_no_adaptation_matches_golden():
+    plan = WidthAdaptationPlan(element_width=16, bus_width=16)
+    assert not plan.needs_adaptation
+    check_golden("width_adapter_16_over_16.vhdl.frag", plan.vhdl_fragment())
+
+
+def test_generated_arbiter_3_clients_matches_golden():
+    unit = generate_arbiter_vhdl(3, addr_width=10, data_width=8)
+    emitted = unit.emit()
+    assert check_balanced(emitted)
+    check_golden("sram_arbiter_3clients.vhd", emitted)
+
+
+def test_golden_files_are_tracked():
+    """The golden corpus itself must exist (a deleted file should fail the
+    comparison tests loudly, not silently skip them)."""
+    names = {path.name for path in GOLDEN_DIR.iterdir()}
+    assert {"width_adapter_24_over_8.vhdl.frag",
+            "width_adapter_16_over_16.vhdl.frag",
+            "sram_arbiter_3clients.vhd"} <= names

@@ -14,7 +14,10 @@ from repro.designs import (
     Saa2VgaCustomFIFO,
     Saa2VgaCustomSRAM,
     VideoSystem,
+    build_blur_histogram_pipeline,
     build_blur_pattern,
+    build_dual_path_saa2vga,
+    build_rgb_over_bus_pipeline,
     build_saa2vga_pattern,
 )
 from repro.rtl import (
@@ -46,6 +49,18 @@ DESIGNS = {
                      BLUR_GOLDEN),
     "blur custom": (lambda: BlurCustomDesign(line_width=10, out_capacity=8),
                     BLUR_GOLDEN),
+    # Elaborated multi-stage pipeline graphs (repro.flow): split/merge over
+    # two parallel copy paths, and a stream broadcast into a histogram tap.
+    "flow dual-path": (lambda: build_dual_path_saa2vga(capacity=8,
+                                                       fifo_depth=4),
+                       PIXELS),
+    "flow blur-hist": (lambda: build_blur_histogram_pipeline(line_width=10),
+                       BLUR_GOLDEN),
+    # Width-adapted pipeline: 24-bit endpoints over an 8-bit bus core (the
+    # converters are auto-inserted by the elaborator).
+    "flow rgb-bus": (lambda: build_rgb_over_bus_pipeline(capacity=8,
+                                                         fifo_depth=4),
+                     PIXELS),
 }
 
 
@@ -244,6 +259,26 @@ def test_mid_simulation_frame_queueing_wakes_source(strategy):
     system.source.queue_frame(second)
     sim.run_until(lambda: system.sink.count >= 2 * len(PIXELS), 50_000)
     assert system.received_pixels() == PIXELS + flatten(second)
+
+
+@pytest.mark.parametrize("strategy", [EVENT, FIXPOINT, COMPILED])
+def test_rgb_over_8bit_bus_roundtrips_bit_exact(strategy):
+    """Acceptance: full 24-bit RGB values over the 8-bit shared bus come
+    back bit-exact under every settle strategy, with the width converters
+    inserted by the elaborator — the scenario code instantiates none."""
+    frame = random_frame(10, 6, seed=79, max_value=(1 << 24) - 1)
+    pixels = flatten(frame)
+    pipeline = build_rgb_over_bus_pipeline()
+    # The adapters really are elaborator-inserted, not scenario-declared.
+    from repro.metagen import WidthDownConverter, WidthUpConverter
+
+    assert [type(a) for a in pipeline.adapters] == \
+        [WidthDownConverter, WidthUpConverter]
+    system = VideoSystem(pipeline, frames=[frame])
+    sim = system.simulate(len(pixels), max_cycles=100_000, strategy=strategy)
+    assert system.received_pixels() == pixels
+    if strategy == COMPILED:
+        assert sim.analysis_misses == 0
 
 
 # -- randomized differential testing (beyond directed inputs) ----------------
