@@ -17,9 +17,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..designs import (
     BlurPatternDesign,
     Saa2VgaPatternDesign,
+    VideoSystem,
     run_stream_through,
 )
-from ..rtl import COMPILED, STRATEGIES, Component
+from ..rtl import (
+    COMPILED,
+    COMPILED_BATCHED,
+    STRATEGIES,
+    BatchedSimulator,
+    Component,
+    batch_groups,
+)
 from ..synth import estimate_design, estimate_power_mw
 from ..video import GRAY8, RGB24, RGB565, flatten, golden_blur3x3, random_frame
 
@@ -34,13 +42,20 @@ AUTO = "auto"
 
 
 def resolve_strategy(strategy: str) -> str:
-    """Map the ``"auto"`` alias to a concrete settle strategy."""
+    """Map the ``"auto"`` alias to a concrete settle strategy.
+
+    ``"compiled-batched"`` is passed through: it is not a scalar
+    :class:`~repro.rtl.Simulator` strategy (the runner routes it to
+    :class:`~repro.rtl.BatchedSimulator` lane batches itself).
+    """
     if strategy == AUTO:
         return COMPILED
+    if strategy == COMPILED_BATCHED:
+        return strategy
     if strategy not in STRATEGIES:
         raise ValueError(
-            f"unknown strategy {strategy!r}; expected {AUTO!r} or one of "
-            f"{STRATEGIES}")
+            f"unknown strategy {strategy!r}; expected {AUTO!r}, "
+            f"{COMPILED_BATCHED!r} or one of {STRATEGIES}")
     return strategy
 
 
@@ -134,6 +149,40 @@ class ExplorationResult:
         return row
 
 
+def _characterise(point, design, pixels, cycles, golden,
+                  verify: bool, verify_seed: int, verify_cycles: int,
+                  verify_strategy: str) -> ExplorationResult:
+    """Assemble one :class:`ExplorationResult` from a finished simulation.
+
+    Shared by the scalar per-point path and the batched lane path so both
+    produce byte-identical reports for the same point.
+    """
+    area = estimate_design(design)
+    coverage_pct = coverage_violations = None
+    if verify:
+        from ..verify.session import verify as run_verify
+
+        session = run_verify(build_design(point), seed=verify_seed,
+                             cycles=verify_cycles, strategy=verify_strategy)
+        coverage_pct = session.coverage_percent
+        coverage_violations = len(session.violations)
+    outputs = len(pixels)
+    return ExplorationResult(
+        point=point,
+        cycles=cycles,
+        outputs=outputs,
+        throughput=outputs / max(1, cycles),
+        ffs=area.total.ffs,
+        luts=area.total.total_luts,
+        brams=area.total.brams,
+        fmax_mhz=area.fmax_mhz,
+        power_mw=estimate_power_mw(area),
+        verified=pixels == golden,
+        coverage_pct=coverage_pct,
+        coverage_violations=coverage_violations,
+    )
+
+
 def evaluate_point(point, strategy: str = AUTO,
                    max_cycles: int = 2_000_000, verify: bool = False,
                    verify_seed: int = 0,
@@ -149,34 +198,78 @@ def evaluate_point(point, strategy: str = AUTO,
     A module-level function so a ``multiprocessing`` pool can pickle it.
     """
     strategy = resolve_strategy(strategy)
+    if strategy == COMPILED_BATCHED:
+        return evaluate_points_batched(
+            [point], max_cycles=max_cycles, verify=verify,
+            verify_seed=verify_seed, verify_cycles=verify_cycles)[0]
     frame = stimulus_frame(point)
     golden = golden_output(point, frame)
     design = build_design(point)
     result = run_stream_through(design, frame, expected_outputs=len(golden),
                                 max_cycles=max_cycles, strategy=strategy)
-    area = estimate_design(design)
-    coverage_pct = coverage_violations = None
-    if verify:
-        from ..verify.session import verify as run_verify
+    return _characterise(point, design, result["pixels"], result["cycles"],
+                         golden, verify, verify_seed, verify_cycles,
+                         verify_strategy=strategy)
 
-        session = run_verify(build_design(point), seed=verify_seed,
-                             cycles=verify_cycles, strategy=strategy)
-        coverage_pct = session.coverage_percent
-        coverage_violations = len(session.violations)
-    return ExplorationResult(
-        point=point,
-        cycles=result["cycles"],
-        outputs=result["outputs"],
-        throughput=result["outputs"] / max(1, result["cycles"]),
-        ffs=area.total.ffs,
-        luts=area.total.total_luts,
-        brams=area.total.brams,
-        fmax_mhz=area.fmax_mhz,
-        power_mw=estimate_power_mw(area),
-        verified=result["pixels"] == golden,
-        coverage_pct=coverage_pct,
-        coverage_violations=coverage_violations,
-    )
+
+def evaluate_points_batched(points: Sequence,
+                            max_cycles: int = 2_000_000,
+                            verify: bool = False, verify_seed: int = 0,
+                            verify_cycles: int = 1500, lanes: int = 16,
+                            stats: Optional[Dict[str, int]] = None
+                            ) -> List[ExplorationResult]:
+    """Evaluate points through lane-batched lockstep simulation.
+
+    Every point gets its own fresh design hierarchy and its usual seeded
+    stimulus; points whose compiled batched programs are structurally
+    identical (same generated source, widths and memory shapes — see
+    :attr:`~repro.rtl.compile.BatchedProgram.signature`) are packed into
+    lane groups of at most ``lanes`` and advanced by one vectorized
+    simulation loop per group.  Incompatible points simply land in their
+    own (possibly 1-lane) groups — nothing is excluded.
+
+    Per lane, the simulation stops contributing once the sink has captured
+    the golden pixel count; the recorded stop cycle and the first
+    ``len(golden)`` pixels match the scalar strategies bit-for-bit (other
+    lanes in the group may keep that lane's clock running afterwards, which
+    cannot change already-captured output).
+
+    ``stats`` (optional dict) gets ``"batches"`` incremented by the number
+    of batched simulation loops run — the observability hook the runner and
+    the benchmark suite use.
+    """
+    prepared = []
+    for point in points:
+        frame = stimulus_frame(point)
+        golden = golden_output(point, frame)
+        design = build_design(point)
+        system = VideoSystem(design, frames=[frame])
+        prepared.append((point, design, system, golden))
+
+    results: List[Optional[ExplorationResult]] = [None] * len(prepared)
+    systems = [system for _, _, system, _ in prepared]
+    for indices, programs in batch_groups(systems):
+        for start in range(0, len(indices), max(1, lanes)):
+            chunk = indices[start:start + max(1, lanes)]
+            chunk_programs = programs[start:start + max(1, lanes)]
+            batch = BatchedSimulator([systems[i] for i in chunk],
+                                     programs=chunk_programs)
+            conditions = [
+                (lambda s=prepared[i][2], n=len(prepared[i][3]):
+                 s.sink.count >= n)
+                for i in chunk
+            ]
+            done = batch.run_lockstep(conditions, max_cycles=max_cycles)
+            if stats is not None:
+                stats["batches"] = stats.get("batches", 0) + 1
+            for lane, i in enumerate(chunk):
+                point, design, system, golden = prepared[i]
+                pixels = system.received_pixels()[:len(golden)]
+                results[i] = _characterise(
+                    point, design, pixels, done[lane], golden,
+                    verify, verify_seed, verify_cycles,
+                    verify_strategy=COMPILED)
+    return results  # type: ignore[return-value]
 
 
 class ExplorationRunner:
@@ -198,9 +291,12 @@ class ExplorationRunner:
 
     def __init__(self, strategy: str = AUTO, processes: Optional[int] = None,
                  max_cycles: int = 2_000_000, verify: bool = False,
-                 verify_seed: int = 0, verify_cycles: int = 1500) -> None:
+                 verify_seed: int = 0, verify_cycles: int = 1500,
+                 lanes: int = 16) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
         resolve_strategy(strategy)  # validate eagerly
         self.strategy = strategy
         self.processes = processes
@@ -210,11 +306,17 @@ class ExplorationRunner:
         self.verify = verify
         self.verify_seed = verify_seed
         self.verify_cycles = verify_cycles
+        #: Maximum lane count per batched simulation loop (only used when
+        #: ``strategy`` resolves to ``"compiled-batched"``).
+        self.lanes = lanes
         self._cache: Dict[Tuple, ExplorationResult] = {}
         #: Number of points served from the memo across all ``run`` calls.
         self.cache_hits = 0
         #: Number of points actually simulated across all ``run`` calls.
         self.evaluations = 0
+        #: Number of batched lockstep simulation loops run (0 for scalar
+        #: strategies; a 16-point compatible sweep at ``lanes=16`` adds 1).
+        self.batch_runs = 0
 
     def _memo_key(self, point) -> Tuple:
         """Memoization key: the design point *and* the resolved strategy.
@@ -225,8 +327,19 @@ class ExplorationRunner:
         verification configuration is part of the key too: a result carrying
         coverage must never be served for a ``verify=False`` sweep (or for a
         different seed), and vice versa.
+
+        ``"compiled-batched"`` deliberately normalises to ``"compiled"``:
+        lane batching is an execution detail, not an observable one — every
+        lane's trace is proven bit-identical to the scalar compiled backend
+        (``tests/rtl/test_strategy_equivalence.py``), so a cached compiled
+        report is exactly what a batched run would produce, and vice versa.
+        Serving it avoids re-simulating a point just because the caller
+        toggled lane batching between sweeps.
         """
-        return (point.key(), resolve_strategy(self.strategy),
+        resolved = resolve_strategy(self.strategy)
+        if resolved == COMPILED_BATCHED:
+            resolved = COMPILED
+        return (point.key(), resolved,
                 self.verify, self.verify_seed, self.verify_cycles)
 
     def run(self, points: Sequence) -> List[ExplorationResult]:
@@ -246,7 +359,15 @@ class ExplorationRunner:
         self.cache_hits += len(points) - len(todo)
         self.evaluations += len(todo)
         if todo:
-            if self.processes is not None and self.processes > 1:
+            if resolve_strategy(self.strategy) == COMPILED_BATCHED:
+                stats: Dict[str, int] = {}
+                fresh = evaluate_points_batched(
+                    todo, max_cycles=self.max_cycles, verify=self.verify,
+                    verify_seed=self.verify_seed,
+                    verify_cycles=self.verify_cycles, lanes=self.lanes,
+                    stats=stats)
+                self.batch_runs += stats.get("batches", 0)
+            elif self.processes is not None and self.processes > 1:
                 fresh = self._run_pool(todo)
             else:
                 fresh = [evaluate_point(point, strategy=self.strategy,

@@ -14,7 +14,7 @@ import sys
 
 from .coverage import CoverageDB
 from .rng import SEED_ENV, default_seed
-from .session import TARGETS, verify
+from .session import TARGETS, verify, verify_matrix
 
 
 def main(argv=None) -> int:
@@ -33,7 +33,8 @@ def main(argv=None) -> int:
     parser.add_argument("--cycles", type=int, default=None,
                         help="cycle budget override (default: per-target)")
     parser.add_argument("--strategy", default="event",
-                        choices=("event", "fixpoint", "compiled"))
+                        choices=("event", "fixpoint", "compiled",
+                                 "compiled-batched"))
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the merged coverage database here")
     parser.add_argument("--min-coverage", type=float, default=None, metavar="PCT",
@@ -54,9 +55,16 @@ def main(argv=None) -> int:
     db = CoverageDB()
     failures = []
     for name in names:
-        for seed in args.seeds:
-            result = verify(name, seed=seed, cycles=args.cycles,
-                            strategy=args.strategy)
+        # compiled-batched runs the whole seed matrix for a target as ONE
+        # lockstep simulation loop (one lane per seed); scalar strategies
+        # run one session per (target, seed) pair.
+        if args.strategy == "compiled-batched":
+            results = verify_matrix(name, args.seeds, cycles=args.cycles)
+        else:
+            results = [verify(name, seed=seed, cycles=args.cycles,
+                              strategy=args.strategy)
+                       for seed in args.seeds]
+        for result in results:
             db.add(result.coverage)
             print(result.summary())
             if not result.ok:

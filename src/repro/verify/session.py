@@ -26,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..rtl import EVENT, Component, Simulator
+from ..rtl import (
+    COMPILED_BATCHED,
+    EVENT,
+    BatchedSimulator,
+    Component,
+    Simulator,
+)
 from .coverage import CoverageDB, CoverGroup
 from .monitor import (
     ArbiterMonitor,
@@ -625,6 +631,27 @@ def _run_bench(bench: _Bench, target_name: str, seed: int, cycles: int,
         transactions=sum(m.transactions for m in bench.monitors))
 
 
+def _resolve_bench(target: Union[str, Component], pool: RngPool,
+                   cycles: Optional[int]) -> tuple:
+    """Build one bench for ``target``: (bench, name, cycle budget)."""
+    if isinstance(target, str):
+        try:
+            spec = TARGETS[target]
+        except KeyError:
+            raise VerificationError(
+                f"unknown verification target {target!r}; known targets: "
+                f"{sorted(TARGETS)}") from None
+        return (spec.build(pool), spec.name,
+                spec.default_cycles if cycles is None else cycles)
+    if not hasattr(target, "input_fill") or \
+            not hasattr(target, "output_drain"):
+        raise VerificationError(
+            f"component {target!r} exposes no input_fill/output_drain "
+            f"interfaces and is not a registered target name")
+    return (_pipeline_bench(pool, target), f"component/{target.name}",
+            1500 if cycles is None else cycles)
+
+
 def verify(target: Union[str, Component], seed: int = 0,
            cycles: Optional[int] = None, strategy: str = EVENT,
            strict: bool = False) -> VerifyResult:
@@ -645,32 +672,101 @@ def verify(target: Union[str, Component], seed: int = 0,
         or 1500 for ad-hoc components).
     strategy:
         Settle strategy — sessions behave identically under ``event``,
-        ``fixpoint`` and ``compiled``.
+        ``fixpoint``, ``compiled`` and (as a one-lane batch)
+        ``compiled-batched``.
     strict:
         Raise :class:`VerificationError` on the first violation instead of
         collecting all of them.
     """
+    if strategy == COMPILED_BATCHED:
+        return verify_matrix(target, [seed], cycles=cycles, strict=strict)[0]
     pool = RngPool(seed)
-    if isinstance(target, str):
-        try:
-            spec = TARGETS[target]
-        except KeyError:
-            raise VerificationError(
-                f"unknown verification target {target!r}; known targets: "
-                f"{sorted(TARGETS)}") from None
-        bench = spec.build(pool)
-        budget = spec.default_cycles if cycles is None else cycles
-        name = spec.name
-    else:
-        if not hasattr(target, "input_fill") or \
-                not hasattr(target, "output_drain"):
-            raise VerificationError(
-                f"component {target!r} exposes no input_fill/output_drain "
-                f"interfaces and is not a registered target name")
-        bench = _pipeline_bench(pool, target)
-        budget = 1500 if cycles is None else cycles
-        name = f"component/{target.name}"
+    bench, name, budget = _resolve_bench(target, pool, cycles)
     return _run_bench(bench, name, pool.seed, budget, strategy, strict)
+
+
+def verify_matrix(target: Union[str, Component], seeds: Sequence[int],
+                  cycles: Optional[int] = None,
+                  strategy: str = COMPILED_BATCHED,
+                  strict: bool = False) -> List[VerifyResult]:
+    """Run a whole seed matrix over one target as a single batched session.
+
+    One bench is built per seed — each with its own independent
+    :class:`RngPool`, so lane ``i`` receives exactly the stimulus a scalar
+    ``verify(target, seed=seeds[i])`` session would — and every lane's DUT
+    advances through one :class:`~repro.rtl.BatchedSimulator` lockstep loop.
+    Drivers poke and monitors observe through per-lane mirrored signal
+    state, so the per-seed results (violations, coverage, transactions) are
+    identical to the scalar sessions'.
+
+    A scalar ``strategy`` is accepted as an escape hatch and simply runs
+    the seeds sequentially through :func:`verify`.
+
+    For a component target, each lane needs its own DUT instance:
+    component targets are re-built per lane via a fresh
+    ``type(target)``-independent path only when ``target`` is a registered
+    name; passing a live component with more than one seed is rejected
+    (two lanes cannot share one hierarchy).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    if strategy != COMPILED_BATCHED:
+        return [verify(target, seed=seed, cycles=cycles, strategy=strategy,
+                       strict=strict) for seed in seeds]
+    if not isinstance(target, str) and len(seeds) > 1:
+        raise VerificationError(
+            "batched seed matrices over a live component need one DUT per "
+            "lane; pass a registered target name instead")
+    pools = [RngPool(seed) for seed in seeds]
+    benches: List[_Bench] = []
+    name = ""
+    budget = 0
+    for pool in pools:
+        bench, name, budget = _resolve_bench(target, pool, cycles)
+        benches.append(bench)
+    sim = BatchedSimulator([bench.top for bench in benches])
+    for lane, bench in enumerate(benches):
+        view = sim.lane(lane)
+        for monitor in bench.monitors:
+            monitor.attach(view)
+    try:
+        for _ in range(budget):
+            cycle = sim.cycles
+            for bench in benches:
+                for driver in bench.drivers:
+                    driver.drive(cycle)
+            sim.settle()
+            for bench in benches:
+                for driver in bench.drivers:
+                    driver.observe(cycle)
+                for monitor in bench.monitors:
+                    monitor.pre_edge(cycle)
+                bench.group.sample(**bench.sampler())
+            sim.step()
+            if strict:
+                for pool, bench in zip(pools, benches):
+                    for monitor in bench.monitors:
+                        if monitor.violations:
+                            raise VerificationError(
+                                f"{monitor.violations[0]}\nreproduce with: "
+                                f"{SEED_ENV}={pool.seed} python -m "
+                                f"repro.verify '{name}'")
+    finally:
+        for bench in benches:
+            for monitor in bench.monitors:
+                monitor.detach()
+    results: List[VerifyResult] = []
+    for pool, bench in zip(pools, benches):
+        violations = [v for monitor in bench.monitors
+                      for v in monitor.violations]
+        violations.sort(key=lambda v: v.cycle)
+        results.append(VerifyResult(
+            target=name, seed=pool.seed, cycles=budget,
+            strategy=COMPILED_BATCHED, coverage=bench.group,
+            violations=violations,
+            transactions=sum(m.transactions for m in bench.monitors)))
+    return results
 
 
 def verify_all(targets: Optional[Sequence[str]] = None,

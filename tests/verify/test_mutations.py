@@ -10,6 +10,7 @@ clean.  This is the verification subsystem verifying itself.
 import pytest
 
 from repro.verify import mutate, verify
+from repro.verify.session import verify_matrix
 
 #: mutation name -> (target exercising it, cycle budget)
 MUTATION_TARGETS = {
@@ -18,7 +19,18 @@ MUTATION_TARGETS = {
     "fifo.stale_dout": ("queue/fifo", 800),
     "lifo.reverse_order": ("stack/lifo", 800),
     "queue.ready_when_full": ("queue/fifo", 800),
+    "batched.cross_lane_mask_reuse": ("queue/fifo", 800),
+    "batched.stale_lane_commit": ("queue/fifo", 800),
 }
+
+#: The batched-emitter faults live in the *code generator*, not a
+#: primitive: they only manifest inside a multi-lane lockstep session
+#: (identical lanes would mask cross-lane leakage, and the stale-commit
+#: fault freezes exactly the last lane), so their smoke test drives a
+#: multi-seed matrix instead of a scalar session.
+BATCHED_MUTATIONS = {name for name in MUTATION_TARGETS
+                     if name.startswith("batched.")}
+BATCHED_SMOKE_SEEDS = [0, 1, 2, 3]
 
 
 def test_every_known_mutation_has_a_smoke_target():
@@ -28,6 +40,17 @@ def test_every_known_mutation_has_a_smoke_target():
 @pytest.mark.parametrize("name", sorted(MUTATION_TARGETS))
 def test_monitors_catch_seeded_protocol_bug(name):
     target, cycles = MUTATION_TARGETS[name]
+    if name in BATCHED_MUTATIONS:
+        with mutate.inject(name):
+            mutated = verify_matrix(target, BATCHED_SMOKE_SEEDS,
+                                    cycles=cycles)
+        assert any(not result.ok for result in mutated), \
+            f"mutation {name} went undetected on a " \
+            f"{len(BATCHED_SMOKE_SEEDS)}-lane {target} matrix"
+        clean = verify_matrix(target, BATCHED_SMOKE_SEEDS, cycles=cycles)
+        assert all(result.ok for result in clean), \
+            [str(v) for result in clean for v in result.violations[:5]]
+        return
     with mutate.inject(name):
         mutated = verify(target, seed=0, cycles=cycles)
     assert not mutated.ok, \
@@ -37,6 +60,16 @@ def test_monitors_catch_seeded_protocol_bug(name):
     # exits behaves correctly again under the identical stimulus.
     clean = verify(target, seed=0, cycles=cycles)
     assert clean.ok, [str(v) for v in clean.violations[:5]]
+
+
+def test_stale_lane_commit_freezes_exactly_the_last_lane():
+    """The seeded commit fault skips the last lane column: earlier lanes
+    must stay clean (their columns commit normally), pinning the fault's
+    blast radius and proving detection is not an artefact of lane 0."""
+    with mutate.inject("batched.stale_lane_commit"):
+        results = verify_matrix("queue/fifo", BATCHED_SMOKE_SEEDS,
+                                cycles=800)
+    assert [result.ok for result in results] == [True, True, True, False]
 
 
 def test_mutation_registry_rejects_unknown_names():
