@@ -8,6 +8,14 @@ machine-readable artifact.  Exit status is non-zero when any evaluated
 point fails functional verification (or a ``--verify`` session flags
 protocol violations), so CI can gate on a sweep.
 
+Two execution backends beyond plain in-process sweeps:
+
+* ``--store DIR`` keeps results in a persistent on-disk store — a warm
+  re-sweep of an unchanged grid performs zero simulations, across runs;
+* ``--server URL`` submits the same sweep to a running ``python -m
+  repro.serve`` service and renders its results, making this CLI just one
+  client of the HTTP/JSON API.
+
 Examples::
 
     python -m repro.explore --designs saa2vga --bindings fifo sram \
@@ -15,6 +23,8 @@ Examples::
     python -m repro.explore --pipelines chain --stages 1 2 4 \
         --fifo-depths 2 8 --verify
     python -m repro.explore --grid sweep.json --json results.json
+    python -m repro.explore --grid sweep.json --store /var/tmp/repro-store
+    python -m repro.explore --grid sweep.json --server http://127.0.0.1:8377
 """
 
 from __future__ import annotations
@@ -22,34 +32,24 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence, Tuple
 
-from .grid import expand_grid
+from ..rtl import COMPILED_BATCHED
 from .report import comparison_report, coverage_summary, results_table
 from .runner import AUTO, ExplorationRunner
-
-
-def _parse_frames(specs: Sequence) -> List[Tuple[int, int]]:
-    """``16x12`` strings (or [w, h] pairs from JSON) -> (width, height)."""
-    frames = []
-    for spec in specs:
-        if isinstance(spec, str):
-            try:
-                width, height = spec.lower().split("x")
-                frames.append((int(width), int(height)))
-            except ValueError:
-                raise SystemExit(
-                    f"bad frame spec {spec!r}: expected WIDTHxHEIGHT") from None
-        else:
-            width, height = spec
-            frames.append((int(width), int(height)))
-    return frames
+from .spec import expand_spec, normalize_pipeline_spec
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.explore",
-        description="Batched design-space exploration of the pattern library.")
+        description="Batched design-space exploration of the pattern library.",
+        epilog="With --store DIR results persist between runs (an unchanged "
+               "grid re-sweeps with zero simulations); with --server URL the "
+               "sweep is submitted to a running 'python -m repro.serve' "
+               "service instead of simulating locally.  Both share one "
+               "content-addressed key scheme, so a store written locally "
+               "serves a server's cache hits and vice versa.  Full operator "
+               "guide: docs/exploration.md.")
     grid = parser.add_argument_group("design grid axes")
     grid.add_argument("--designs", nargs="+", default=None,
                       metavar="NAME", help="design families (saa2vga, blur)")
@@ -77,15 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--grid", metavar="PATH", default=None,
                      help="JSON grid spec file (CLI axis flags override it)")
     run.add_argument("--strategy", default=AUTO,
-                     choices=(AUTO, "event", "fixpoint", "compiled"))
+                     choices=(AUTO, "event", "fixpoint", "compiled",
+                              COMPILED_BATCHED))
     run.add_argument("--processes", type=int, default=None, metavar="N",
                      help="fan uncached points over a process pool")
+    run.add_argument("--lanes", type=int, default=16, metavar="N",
+                     help="max lanes per batched simulation loop "
+                          "(compiled-batched strategy; default: 16)")
     run.add_argument("--max-cycles", type=int, default=2_000_000)
     run.add_argument("--verify", action="store_true",
                      help="also run a constrained-random verification "
                           "session per point (adds cov%% / cr_ok columns)")
     run.add_argument("--verify-seed", type=int, default=0)
     run.add_argument("--verify-cycles", type=int, default=1500)
+    run.add_argument("--store", metavar="DIR", default=None,
+                     help="persistent result store directory; cached points "
+                          "are served without simulating")
+    run.add_argument("--server", metavar="URL", default=None,
+                     help="submit the sweep to a running sweep service "
+                          "(python -m repro.serve) instead of simulating "
+                          "locally")
+    run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="give up waiting on a --server sweep after this "
+                          "long (default: wait forever)")
 
     out = parser.add_argument_group("output")
     out.add_argument("--title", default="Design-space exploration.")
@@ -96,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_spec(path: Optional[str]) -> dict:
+def _load_spec(path):
     if path is None:
         return {}
     with open(path, "r", encoding="utf-8") as handle:
@@ -106,91 +120,49 @@ def _load_spec(path: Optional[str]) -> dict:
     return spec
 
 
-def _axis(cli_value, spec: dict, key: str, default):
-    """CLI flag > spec-file entry > default."""
-    if cli_value is not None:
-        return cli_value
-    if key in spec:
-        return spec[key]
-    return default
+def merged_spec(args, file_spec: dict) -> dict:
+    """One sweep-spec dict from the spec file with CLI flags folded over it.
 
+    Per-axis precedence is CLI flag > spec-file entry > default, exactly as
+    the flag help has always promised; ``--frames`` overrides both grids'
+    frame axes but on its own opts neither grid in.
+    """
+    merged = dict(file_spec)
+    for value, key in ((args.designs, "designs"), (args.bindings, "bindings"),
+                       (args.formats, "formats"), (args.frames, "frames"),
+                       (args.capacities, "capacities")):
+        if value is not None:
+            merged[key] = value
 
-def expand_from_args(args, spec: dict):
-    """(design points, pipeline points) named by the merged axis values."""
-    design_points = []
-    # --frames is shared between both grids, so it alone does not opt the
-    # design grid in; any design-specific axis (CLI or spec file) does.
-    wants_designs = any(value is not None for value in (
-        args.designs, args.bindings, args.formats,
-        args.capacities)) or any(key in spec for key in (
-            "designs", "bindings", "formats", "capacities"))
-    if wants_designs:
-        design_points = expand_grid(
-            designs=_axis(args.designs, spec, "designs", ("saa2vga",)),
-            bindings=_axis(args.bindings, spec, "bindings", None),
-            pixel_formats=_axis(args.formats, spec, "formats", ("gray8",)),
-            frame_sizes=_parse_frames(
-                _axis(args.frames, spec, "frames", ["16x12"])),
-            capacities=_axis(args.capacities, spec, "capacities", (32,)),
-        )
-
-    pipeline_points = []
-    pipe_spec = spec.get("pipelines", {})
-    if isinstance(pipe_spec, (list, tuple)):
-        pipe_spec = {"topologies": pipe_spec}
+    try:
+        pipe = normalize_pipeline_spec(file_spec.get("pipelines"))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     wants_pipelines = any(value is not None for value in (
         args.pipelines, args.stages, args.fifo_depths,
-        args.bus_widths)) or bool(pipe_spec)
-    if not wants_designs and not wants_pipelines:
-        # No grid-selecting axes: run the default design grid, like a bare
-        # sweep script would — still honouring a lone --frames override.
-        return expand_grid(frame_sizes=_parse_frames(
-            _axis(args.frames, spec, "frames", ["16x12"]))), []
+        args.bus_widths)) or bool(pipe)
     if wants_pipelines:
-        from ..flow.sweep import expand_pipeline_grid
-
-        pipeline_points = expand_pipeline_grid(
-            topologies=_axis(args.pipelines, pipe_spec, "topologies",
-                             ("chain",)),
-            stages=_axis(args.stages, pipe_spec, "stages", (2,)),
-            fifo_depths=_axis(args.fifo_depths, pipe_spec, "fifo_depths",
-                              (4,)),
-            bus_widths=_axis(args.bus_widths, pipe_spec, "bus_widths", (8,)),
-            frame_sizes=_parse_frames(
-                _axis(args.frames, pipe_spec, "frames", ["16x8"])),
-        )
-    return design_points, pipeline_points
+        for value, key in ((args.pipelines, "topologies"),
+                           (args.stages, "stages"),
+                           (args.fifo_depths, "fifo_depths"),
+                           (args.bus_widths, "bus_widths"),
+                           (args.frames, "frames")):
+            if value is not None:
+                pipe[key] = value
+        merged["pipelines"] = pipe
+    else:
+        merged.pop("pipelines", None)
+    return merged
 
 
-def main(argv=None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    spec = _load_spec(args.grid)
-
-    design_points, pipeline_points = expand_from_args(args, spec)
-    if not design_points and not pipeline_points:
-        print("grid expanded to zero valid points", file=sys.stderr)
-        return 2
-
-    runner = ExplorationRunner(
-        strategy=args.strategy, processes=args.processes,
-        max_cycles=args.max_cycles, verify=args.verify,
-        verify_seed=args.verify_seed, verify_cycles=args.verify_cycles)
-
-    sections = []
-    if design_points:
-        sections.append((f"{args.title} (designs)", runner.run(design_points)))
-    if pipeline_points:
-        sections.append((f"{args.title} (pipelines)",
-                         runner.run(pipeline_points)))
-
+def _print_sections(sections, args, cache_note: str) -> list:
+    """Render the report sections; returns the flat result list."""
     all_results = [res for _, results in sections for res in results]
     if not args.quiet:
         for title, results in sections:
             print(comparison_report(results, title=title))
             print()
-        print(f"{len(all_results)} point(s) evaluated "
-              f"({runner.cache_hits} from cache)")
+        print(f"{len(all_results)} point(s) evaluated {cache_note}")
 
     if args.json:
         payload = {
@@ -205,16 +177,105 @@ def main(argv=None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
         if not args.quiet:
             print(f"results written to {args.json}")
+    return all_results
 
+
+def _gate(all_results, extra_failures=()) -> int:
+    """Exit status from verification verdicts (and server-side failures)."""
     failed = [res for res in all_results if not res.verified]
     flagged = [res for res in all_results if res.coverage_violations]
-    if failed or flagged:
+    if failed or flagged or extra_failures:
         print(f"\nFAILED: {len(failed)} point(s) functionally wrong, "
               f"{len(flagged)} with protocol violations", file=sys.stderr)
         for res in (failed + flagged)[:10]:
             print(f"  - {res.point.label()}", file=sys.stderr)
+        for failure in list(extra_failures)[:10]:
+            print(f"  - {failure['point'].get('family', '?')} point: "
+                  f"{failure['error']}", file=sys.stderr)
         return 1
     return 0
+
+
+def _split_sections(results, title: str):
+    """Group results into (designs) / (pipelines) report sections."""
+    from ..flow.sweep import PipelinePoint
+
+    design_results = [res for res in results
+                      if not isinstance(res.point, PipelinePoint)]
+    pipeline_results = [res for res in results
+                        if isinstance(res.point, PipelinePoint)]
+    sections = []
+    if design_results:
+        sections.append((f"{title} (designs)", design_results))
+    if pipeline_results:
+        sections.append((f"{title} (pipelines)", pipeline_results))
+    return sections
+
+
+def _run_remote(args, spec: dict) -> int:
+    """``--server``: the CLI as a client of the HTTP/JSON sweep service."""
+    from ..serve.client import ServiceError, SweepClient
+    from ..serve.records import result_from_record
+
+    config = {
+        "strategy": args.strategy,
+        "max_cycles": args.max_cycles,
+        "verify": args.verify,
+        "verify_seed": args.verify_seed,
+        "verify_cycles": args.verify_cycles,
+        "lanes": args.lanes,
+    }
+    client = SweepClient(args.server)
+    try:
+        submitted = client.submit({"spec": spec, "config": config})
+        status = client.wait(submitted["id"], timeout=args.timeout)
+        payload = client.results(submitted["id"])
+    except ServiceError as exc:
+        print(f"sweep service error: {exc}", file=sys.stderr)
+        return 3
+    results = [result_from_record(record) for record in payload["records"]]
+    sections = _split_sections(results, args.title)
+    cached = status.get("cached", 0)
+    all_results = _print_sections(
+        sections, args, f"({cached} from cache, via {args.server})")
+    return _gate(all_results, extra_failures=payload.get("failures", ()))
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    spec = merged_spec(args, _load_spec(args.grid))
+
+    try:
+        design_points, pipeline_points = expand_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if not design_points and not pipeline_points:
+        print("grid expanded to zero valid points", file=sys.stderr)
+        return 2
+
+    if args.server is not None:
+        return _run_remote(args, spec)
+
+    runner = ExplorationRunner(
+        strategy=args.strategy, processes=args.processes,
+        max_cycles=args.max_cycles, verify=args.verify,
+        verify_seed=args.verify_seed, verify_cycles=args.verify_cycles,
+        lanes=args.lanes, store=args.store)
+
+    sections = []
+    if design_points:
+        sections.append((f"{args.title} (designs)", runner.run(design_points)))
+    if pipeline_points:
+        sections.append((f"{args.title} (pipelines)",
+                         runner.run(pipeline_points)))
+
+    cache_note = f"({runner.cache_hits} from cache)"
+    if args.store is not None:
+        cache_note = (f"({runner.cache_hits} from cache, "
+                      f"{runner.store_hits} from store)")
+    all_results = _print_sections(sections, args, cache_note)
+    return _gate(all_results)
 
 
 if __name__ == "__main__":

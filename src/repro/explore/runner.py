@@ -287,12 +287,21 @@ class ExplorationRunner:
         in the parent by design hash.
     max_cycles:
         Per-point simulation budget.
+    store:
+        Optional persistent result backend: a
+        :class:`repro.serve.store.ResultStore` (or a directory path, which
+        opens one).  Points missing from the in-process memo are probed in
+        the store before any simulator is built, and freshly simulated
+        results are written back — so a warm re-sweep of an unchanged grid
+        performs **zero** simulations, across process restarts.  Point
+        types without a registered record family degrade gracefully to
+        in-process memoization only.
     """
 
     def __init__(self, strategy: str = AUTO, processes: Optional[int] = None,
                  max_cycles: int = 2_000_000, verify: bool = False,
                  verify_seed: int = 0, verify_cycles: int = 1500,
-                 lanes: int = 16) -> None:
+                 lanes: int = 16, store=None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if lanes < 1:
@@ -309,9 +318,21 @@ class ExplorationRunner:
         #: Maximum lane count per batched simulation loop (only used when
         #: ``strategy`` resolves to ``"compiled-batched"``).
         self.lanes = lanes
+        if store is not None and not hasattr(store, "get"):
+            # A path was handed in; open a store over it (lazy import so the
+            # serve package stays optional for plain in-process sweeps).
+            from ..serve.store import ResultStore
+
+            store = ResultStore(store)
+        #: Optional persistent result store probed before simulating and
+        #: written after (see the ``store`` parameter).
+        self.store = store
         self._cache: Dict[Tuple, ExplorationResult] = {}
         #: Number of points served from the memo across all ``run`` calls.
         self.cache_hits = 0
+        #: Subset of ``cache_hits`` that was served from the persistent
+        #: store rather than this process's memo.
+        self.store_hits = 0
         #: Number of points actually simulated across all ``run`` calls.
         self.evaluations = 0
         #: Number of batched lockstep simulation loops run (0 for scalar
@@ -336,11 +357,45 @@ class ExplorationRunner:
         Serving it avoids re-simulating a point just because the caller
         toggled lane batching between sweeps.
         """
-        resolved = resolve_strategy(self.strategy)
-        if resolved == COMPILED_BATCHED:
-            resolved = COMPILED
-        return (point.key(), resolved,
+        return (point.key(), self.cache_strategy(),
                 self.verify, self.verify_seed, self.verify_cycles)
+
+    def cache_strategy(self) -> str:
+        """The cache-normalised strategy (see :meth:`_memo_key`)."""
+        resolved = resolve_strategy(self.strategy)
+        return COMPILED if resolved == COMPILED_BATCHED else resolved
+
+    def _store_get(self, point) -> Optional[ExplorationResult]:
+        """Probe the persistent store for a point; ``None`` on any miss."""
+        from ..serve import records
+
+        try:
+            key = records.exploration_key(
+                point, self.cache_strategy(), self.verify,
+                self.verify_seed, self.verify_cycles)
+        except records.UnstorablePointError:
+            return None
+        record = self.store.get(key)
+        if not records.record_matches(record, "exploration"):
+            return None
+        try:
+            return records.result_from_record(record)
+        except (KeyError, TypeError, ValueError):
+            return None  # malformed payload: treat as a miss, re-simulate
+
+    def _store_put(self, point, result: ExplorationResult) -> None:
+        from ..serve import records
+
+        try:
+            config = records.exploration_config(
+                self.cache_strategy(), self.verify, self.verify_seed,
+                self.verify_cycles)
+            key = records.exploration_key(
+                point, self.cache_strategy(), self.verify,
+                self.verify_seed, self.verify_cycles)
+        except records.UnstorablePointError:
+            return
+        self.store.put(key, records.result_to_record(result, key, config))
 
     def run(self, points: Sequence) -> List[ExplorationResult]:
         """Evaluate every point, returning results in the points' order.
@@ -356,6 +411,16 @@ class ExplorationRunner:
             if key not in cache and key not in seen:
                 seen.add(key)
                 todo.append(point)
+        if self.store is not None and todo:
+            remaining = []
+            for point in todo:
+                result = self._store_get(point)
+                if result is None:
+                    remaining.append(point)
+                else:
+                    cache[self._memo_key(point)] = result
+                    self.store_hits += 1
+            todo = remaining
         self.cache_hits += len(points) - len(todo)
         self.evaluations += len(todo)
         if todo:
@@ -378,6 +443,8 @@ class ExplorationRunner:
                          for point in todo]
             for point, result in zip(todo, fresh):
                 cache[self._memo_key(point)] = result
+                if self.store is not None:
+                    self._store_put(point, result)
         return [cache[self._memo_key(point)] for point in points]
 
     def _run_pool(self, points: Sequence) -> List[ExplorationResult]:

@@ -1,0 +1,125 @@
+"""Grid specs as plain dicts: one expansion path for CLI, server and files.
+
+A *sweep spec* is a JSON-safe dict naming axis values for the design grid
+(top level) and/or the pipeline grid (under ``"pipelines"``)::
+
+    {
+      "designs": ["saa2vga"], "bindings": ["fifo", "sram"],
+      "formats": ["gray8"], "frames": ["16x12"], "capacities": [16, 32],
+      "pipelines": {"topologies": ["chain"], "stages": [1, 2, 4],
+                    "fifo_depths": [2, 8], "bus_widths": [8],
+                    "frames": ["16x8"]}
+    }
+
+:func:`expand_spec` turns such a dict into concrete point lists with the
+same opt-in rules the ``python -m repro.explore`` CLI has always used
+(the CLI now builds a spec from its flags and calls this module; ``POST
+/sweeps`` on the sweep server accepts the identical dict) — so a spec file
+means the same sweep locally, remotely and in CI.
+
+Errors raise :class:`ValueError`; presentation (CLI usage errors, HTTP
+400s) is the caller's job.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .grid import expand_grid
+
+#: Top-level keys that opt the design grid in (``frames`` is shared with
+#: the pipeline grid, so it alone opts nothing in).
+DESIGN_AXIS_KEYS = ("designs", "bindings", "formats", "capacities")
+
+#: Keys understood under ``"pipelines"``.
+PIPELINE_AXIS_KEYS = ("topologies", "stages", "fifo_depths", "bus_widths",
+                      "frames")
+
+
+def parse_frames(specs: Sequence) -> List[Tuple[int, int]]:
+    """``"16x12"`` strings (or ``[w, h]`` pairs from JSON) → (w, h) tuples."""
+    frames = []
+    for spec in specs:
+        if isinstance(spec, str):
+            try:
+                width, height = spec.lower().split("x")
+                frames.append((int(width), int(height)))
+            except ValueError:
+                raise ValueError(
+                    f"bad frame spec {spec!r}: expected WIDTHxHEIGHT"
+                ) from None
+        else:
+            try:
+                width, height = spec
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"bad frame spec {spec!r}: expected WIDTHxHEIGHT or "
+                    f"[width, height]") from None
+            frames.append((int(width), int(height)))
+    return frames
+
+
+def normalize_pipeline_spec(pipe_spec) -> dict:
+    """``"pipelines"`` accepts a bare topology list as shorthand."""
+    if pipe_spec is None:
+        return {}
+    if isinstance(pipe_spec, (list, tuple)):
+        return {"topologies": list(pipe_spec)}
+    if not isinstance(pipe_spec, dict):
+        raise ValueError(
+            f"'pipelines' must be an object or a topology list, "
+            f"got {type(pipe_spec).__name__}")
+    unknown = set(pipe_spec) - set(PIPELINE_AXIS_KEYS)
+    if unknown:
+        raise ValueError(f"unknown pipeline axis keys: {sorted(unknown)}")
+    return dict(pipe_spec)
+
+
+def expand_spec(spec: dict):
+    """``(design_points, pipeline_points)`` for a sweep-spec dict.
+
+    Opt-in rules (identical to the historical CLI behaviour):
+
+    * any design axis key present → the design grid runs (missing axes get
+      their defaults);
+    * a non-empty ``"pipelines"`` entry → the pipeline grid runs;
+    * neither → the default design grid runs, honouring a lone ``"frames"``
+      override (a bare ``{}`` spec is the default sweep, not an error).
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("a sweep spec must be a JSON object")
+    known = set(DESIGN_AXIS_KEYS) | {"frames", "pipelines"}
+    unknown = set(spec) - known
+    if unknown:
+        raise ValueError(f"unknown sweep spec keys: {sorted(unknown)}")
+
+    wants_designs = any(key in spec for key in DESIGN_AXIS_KEYS)
+    design_points = []
+    if wants_designs:
+        design_points = expand_grid(
+            designs=spec.get("designs", ("saa2vga",)),
+            bindings=spec.get("bindings"),
+            pixel_formats=spec.get("formats", ("gray8",)),
+            frame_sizes=parse_frames(spec.get("frames", ["16x12"])),
+            capacities=spec.get("capacities", (32,)),
+        )
+
+    pipe_spec = normalize_pipeline_spec(spec.get("pipelines"))
+    if not wants_designs and not pipe_spec:
+        # No grid-selecting axes: the default design grid, like a bare
+        # sweep script — still honouring a lone frames override.
+        return expand_grid(
+            frame_sizes=parse_frames(spec.get("frames", ["16x12"]))), []
+
+    pipeline_points = []
+    if pipe_spec:
+        from ..flow.sweep import expand_pipeline_grid
+
+        pipeline_points = expand_pipeline_grid(
+            topologies=pipe_spec.get("topologies", ("chain",)),
+            stages=pipe_spec.get("stages", (2,)),
+            fifo_depths=pipe_spec.get("fifo_depths", (4,)),
+            bus_widths=pipe_spec.get("bus_widths", (8,)),
+            frame_sizes=parse_frames(pipe_spec.get("frames", ["16x8"])),
+        )
+    return design_points, pipeline_points

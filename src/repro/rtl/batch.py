@@ -34,6 +34,7 @@ try:
 except ImportError:  # pragma: no cover - the toolchain ships numpy
     _np = None
 
+from . import instrument
 from .component import Component, Memory
 from .errors import CombinationalLoopError, SimulationError
 from .signal import Signal
@@ -210,6 +211,7 @@ class BatchedSimulator:
                  max_cycles: int = 10_000_000,
                  programs: Optional[Sequence] = None) -> None:
         _require_numpy()
+        instrument.bump(instrument.BATCHED_CONSTRUCTIONS)
 
         tops = list(tops)
         if not tops:

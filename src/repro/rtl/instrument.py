@@ -1,0 +1,67 @@
+"""Process-wide instrumentation counters.
+
+The serve layer's core promise — a warm persistent cache performs **zero**
+simulations — is only provable if "a simulation happened" is observable
+from outside the simulator.  This module is that observation point: a tiny
+named-counter registry that the simulator constructors bump and that tests
+(and the service's status endpoints) read.
+
+Counters are deliberately process-global and monotonic; callers that need
+a delta snapshot around a region use :func:`snapshot` / :func:`delta`::
+
+    before = snapshot()
+    runner.run(points)          # should be fully cache-served
+    assert delta(before)["simulator_constructions"] == 0
+
+The registry is not thread-synchronised beyond the GIL's int-add atomicity,
+which is sufficient for counting; worker *processes* each count in their
+own registry (the job layer aggregates shard counts explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Names bumped by the RTL layer itself.  Other layers may register their
+#: own names freely — the registry is open.
+SIMULATOR_CONSTRUCTIONS = "simulator_constructions"
+BATCHED_CONSTRUCTIONS = "batched_simulator_constructions"
+
+_counters: Dict[str, int] = {}
+
+
+def bump(name: str, amount: int = 1) -> int:
+    """Increment ``name`` and return its new value."""
+    value = _counters.get(name, 0) + amount
+    _counters[name] = value
+    return value
+
+
+def value(name: str) -> int:
+    """Current value of ``name`` (0 if never bumped)."""
+    return _counters.get(name, 0)
+
+
+def snapshot() -> Dict[str, int]:
+    """Copy of every counter, for later :func:`delta` comparison."""
+    return dict(_counters)
+
+
+def delta(before: Dict[str, int],
+          after: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    """Per-counter difference between two snapshots (``after`` = now)."""
+    if after is None:
+        after = snapshot()
+    names = set(before) | set(after)
+    return {name: after.get(name, 0) - before.get(name, 0) for name in names}
+
+
+def simulations_since(before: Dict[str, int]) -> int:
+    """Total simulator constructions (scalar + batched) since ``before``.
+
+    The acceptance metric of the persistent-store layer: a warm re-sweep
+    must leave this at exactly 0.
+    """
+    diff = delta(before)
+    return (diff.get(SIMULATOR_CONSTRUCTIONS, 0)
+            + diff.get(BATCHED_CONSTRUCTIONS, 0))

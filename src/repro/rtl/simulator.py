@@ -52,6 +52,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set
 
+from . import instrument
 from . import signal as _signal_state
 from .component import Component, Memory
 from .errors import CombinationalLoopError, SimulationError
@@ -94,6 +95,7 @@ class Simulator:
             raise SimulationError(
                 f"unknown settle strategy {strategy!r}; expected one of "
                 f"{STRATEGIES}")
+        instrument.bump(instrument.SIMULATOR_CONSTRUCTIONS)
         self.top = top
         self.max_settle = max_settle
         self.max_cycles = max_cycles

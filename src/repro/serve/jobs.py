@@ -1,0 +1,649 @@
+"""Async sweep jobs: shard, farm out, retry, persist.
+
+The job model turns a grid of points into durable results:
+
+1. **Diff** — :func:`diff_points` probes the :class:`ResultStore` for every
+   point's key; hits become results immediately (the incremental re-sweep:
+   only absent or invalidated points are ever scheduled).
+2. **Shard** — the missing points are split into contiguous shards
+   (:func:`split_shards`).  A shard is the unit of dispatch, retry and
+   timeout; within a worker, a shard under ``strategy="compiled-batched"``
+   is packed into lockstep lanes by the batched backend's own
+   :func:`~repro.rtl.batch_groups` machinery, so service sweeps keep the
+   PR 5 lane-sharing speedup.
+3. **Farm** — a pool of worker *processes* pulls shards work-stealing
+   style: the manager assigns the next pending shard to whichever worker
+   becomes idle first, so a slow shard never blocks its siblings.  Each
+   worker talks to the manager over its own private pipe — a killed or
+   crashed worker can corrupt nothing shared.
+4. **Survive** — a worker that dies mid-shard (crash, OOM-kill, operator
+   ``SIGKILL``) or exceeds the per-shard timeout gets its shard re-queued
+   and a fresh worker spawned, up to ``max_retries`` re-dispatches; an
+   exhausted shard records a *failed* entry per point and the sweep still
+   completes — sibling shards are never poisoned.  Results are
+   deterministic functions of the point, so a retried shard reproduces
+   exactly what the first attempt would have returned.
+
+Job states progress ``submitted → sharded → running → done|failed``
+(``failed`` meaning "completed with at least one failed point").  Every
+transition and shard event is appended to the job's event log, which the
+HTTP layer streams as NDJSON.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .records import (
+    exploration_config,
+    exploration_key,
+    point_from_dict,
+    point_to_dict,
+    result_to_record,
+)
+from .store import ResultStore
+
+#: Job lifecycle states.
+SUBMITTED = "submitted"
+SHARDED = "sharded"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_TERMINAL = (DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything a worker needs to evaluate a point identically anywhere.
+
+    Mirrors the :class:`~repro.explore.runner.ExplorationRunner`
+    constructor arguments that affect results; :meth:`cache_strategy`
+    applies the same normalisation the runner's memo key uses, so the
+    service, the CLI ``--store`` mode and plain in-process sweeps all hit
+    the same store entries.
+    """
+
+    strategy: str = "auto"
+    max_cycles: int = 2_000_000
+    verify: bool = False
+    verify_seed: int = 0
+    verify_cycles: int = 1500
+    lanes: int = 16
+
+    def cache_strategy(self) -> str:
+        from ..explore.runner import resolve_strategy
+        from ..rtl import COMPILED, COMPILED_BATCHED
+
+        resolved = resolve_strategy(self.strategy)
+        return COMPILED if resolved == COMPILED_BATCHED else resolved
+
+    def key_for(self, point) -> str:
+        """The store key this config assigns to ``point``."""
+        return exploration_key(point, self.cache_strategy(), self.verify,
+                               self.verify_seed, self.verify_cycles)
+
+    def record_config(self) -> Dict[str, object]:
+        return exploration_config(self.cache_strategy(), self.verify,
+                                  self.verify_seed, self.verify_cycles)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "max_cycles": self.max_cycles,
+            "verify": self.verify,
+            "verify_seed": self.verify_seed,
+            "verify_cycles": self.verify_cycles,
+            "lanes": self.lanes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepConfig":
+        known = {name: data[name] for name in cls.__dataclass_fields__
+                 if name in data}
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown sweep config keys: {sorted(unknown)}")
+        return cls(**known)
+
+
+@dataclass
+class SweepPlan:
+    """Outcome of diffing a grid against the store (incremental re-sweep)."""
+
+    #: Store key per submitted point, in submission order.
+    keys: List[str]
+    #: Key → record for every point already present in the store.
+    cached: Dict[str, dict]
+    #: Unique points that must be simulated, in first-seen order.
+    todo: List[object] = field(default_factory=list)
+    #: Keys parallel to :attr:`todo`.
+    todo_keys: List[str] = field(default_factory=list)
+
+
+def diff_points(points: Sequence, store: Optional[ResultStore],
+                config: SweepConfig) -> SweepPlan:
+    """Split a grid into cache-served and must-simulate point sets.
+
+    Duplicate points collapse onto one key.  With ``store=None`` every
+    unique point lands in ``todo`` (a pure sharding plan).
+    """
+    plan = SweepPlan(keys=[], cached={})
+    seen = set()
+    for point in points:
+        key = config.key_for(point)
+        plan.keys.append(key)
+        if key in seen:
+            continue
+        seen.add(key)
+        record = store.get(key) if store is not None else None
+        if record is not None:
+            plan.cached[key] = record
+        else:
+            plan.todo.append(point)
+            plan.todo_keys.append(key)
+    return plan
+
+
+def split_shards(points: Sequence, shard_size: int) -> List[List]:
+    """Contiguous shards of at most ``shard_size`` points, order-preserving.
+
+    Contiguity matters: grids enumerate in axis-nesting order, so adjacent
+    points usually differ only in payload parameters and share a batched
+    program signature — exactly what lets a worker's
+    :func:`~repro.explore.runner.evaluate_points_batched` call pack a whole
+    shard into one lockstep lane group.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    points = list(points)
+    return [points[start:start + shard_size]
+            for start in range(0, len(points), shard_size)]
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def evaluate_shard(point_dicts: Sequence[dict],
+                   config_dict: Dict[str, object]
+                   ) -> List[Tuple[str, dict]]:
+    """Evaluate one shard; returns ``[(key, record), ...]`` per point.
+
+    Module-level and dict-in/dict-out so it runs identically in a worker
+    process, in-process (tests, the no-worker fallback) and across Python
+    versions: records, not live objects, cross the process boundary.
+    """
+    from ..explore.runner import (
+        evaluate_point,
+        evaluate_points_batched,
+        resolve_strategy,
+    )
+    from ..rtl import COMPILED_BATCHED
+
+    config = SweepConfig.from_dict(dict(config_dict))
+    points = [point_from_dict(data) for data in point_dicts]
+    if resolve_strategy(config.strategy) == COMPILED_BATCHED:
+        results = evaluate_points_batched(
+            points, max_cycles=config.max_cycles, verify=config.verify,
+            verify_seed=config.verify_seed,
+            verify_cycles=config.verify_cycles, lanes=config.lanes)
+    else:
+        results = [evaluate_point(point, strategy=config.strategy,
+                                  max_cycles=config.max_cycles,
+                                  verify=config.verify,
+                                  verify_seed=config.verify_seed,
+                                  verify_cycles=config.verify_cycles)
+                   for point in points]
+    record_config = config.record_config()
+    out = []
+    for point, result in zip(points, results):
+        key = config.key_for(point)
+        out.append((key, result_to_record(result, key, record_config)))
+    return out
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker loop: receive a shard, evaluate, reply; ``None`` exits.
+
+    Each worker owns one end of a private duplex pipe — no shared queues,
+    so an abrupt death (the fault the manager must survive) cannot leave a
+    lock or a half-written buffer behind for the survivors.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        job_id, shard_id, point_dicts, config_dict = task
+        try:
+            records = evaluate_shard(point_dicts, config_dict)
+            conn.send(("done", job_id, shard_id, records))
+        except Exception:
+            try:
+                conn.send(("error", job_id, shard_id,
+                           traceback.format_exc(limit=20)))
+            except (OSError, ValueError):
+                return
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+
+class SweepJob:
+    """One submitted sweep: bookkeeping, results and the event log.
+
+    All mutation happens under the owning manager's lock; readers go
+    through the snapshot methods (:meth:`progress`, :meth:`events_since`,
+    :meth:`ordered_records`) which take the same lock.
+    """
+
+    def __init__(self, job_id: str, plan: SweepPlan, config: SweepConfig,
+                 lock: threading.RLock) -> None:
+        self.id = job_id
+        self.config = config
+        self.keys = list(plan.keys)
+        self.state = SUBMITTED
+        self.results: Dict[str, dict] = dict(plan.cached)
+        self.failures: Dict[str, dict] = {}
+        self.cached_keys = frozenset(plan.cached)
+        self.unique_keys: List[str] = []
+        seen = set()
+        for key in self.keys:
+            if key not in seen:
+                seen.add(key)
+                self.unique_keys.append(key)
+        self.created_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.events: List[dict] = []
+        self._lock = lock
+        self._terminal = threading.Event()
+
+    # -- event log ---------------------------------------------------------
+
+    def emit(self, event: str, **data) -> None:
+        entry = {"seq": len(self.events), "event": event,
+                 "time": time.time(), **data}
+        self.events.append(entry)
+
+    def events_since(self, index: int) -> List[dict]:
+        with self._lock:
+            return list(self.events[index:])
+
+    # -- status ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in _TERMINAL
+
+    def progress(self) -> Dict[str, object]:
+        """The status payload ``GET /sweeps/<id>`` serves."""
+        with self._lock:
+            total = len(self.unique_keys)
+            cached = len(self.cached_keys)
+            simulated = len(self.results) - cached
+            failed = len(self.failures)
+            return {
+                "id": self.id,
+                "state": self.state,
+                "points": len(self.keys),
+                "total": total,
+                "cached": cached,
+                "simulated": simulated,
+                "failed": failed,
+                "pending": total - cached - simulated - failed,
+                "events": len(self.events),
+                "created_at": self.created_at,
+                "finished_at": self.finished_at,
+                "config": self.config.to_dict(),
+            }
+
+    def ordered_records(self) -> Dict[str, List[dict]]:
+        """Records and failures in first-submission point order."""
+        with self._lock:
+            records = [self.results[key] for key in self.unique_keys
+                       if key in self.results]
+            failures = [self.failures[key] for key in self.unique_keys
+                        if key in self.failures]
+            return {"records": records, "failures": failures}
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches ``done``/``failed``."""
+        return self._terminal.wait(timeout)
+
+
+class _Shard:
+    """Dispatch bookkeeping for one shard of one job."""
+
+    __slots__ = ("job_id", "shard_id", "point_dicts", "keys", "state",
+                 "attempts")
+
+    def __init__(self, job_id: str, shard_id: int,
+                 point_dicts: List[dict], keys: List[str]) -> None:
+        self.job_id = job_id
+        self.shard_id = shard_id
+        self.point_dicts = point_dicts
+        self.keys = keys
+        self.state = "pending"
+        self.attempts = 0
+
+
+class _Worker:
+    """One pool member: process + private pipe + current assignment."""
+
+    __slots__ = ("id", "process", "conn", "current", "assigned_at")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.current: Optional[_Shard] = None
+        self.assigned_at = 0.0
+
+
+class JobManager:
+    """Owns the worker pool and every job's lifecycle.
+
+    Parameters
+    ----------
+    store:
+        Results are diffed against and persisted into this store; ``None``
+        disables persistence (every submission simulates everything).
+    workers:
+        Worker-process pool size (each worker evaluates one shard at a
+        time; the manager hands the next pending shard to whichever worker
+        frees up first).
+    shard_size:
+        Points per shard — the retry/timeout granularity.
+    shard_timeout:
+        Seconds a shard may run before its worker is killed and the shard
+        re-dispatched; ``None`` disables the timeout.
+    max_retries:
+        How many times a shard may be *re*-dispatched after a worker death
+        or timeout before its points are recorded as failed.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, store: Optional[ResultStore] = None, workers: int = 2,
+                 shard_size: int = 16, shard_timeout: Optional[float] = None,
+                 max_retries: int = 1, poll_interval: float = 0.05) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.store = store
+        self.n_workers = workers
+        self.shard_size = shard_size
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.poll_interval = poll_interval
+        self._ctx = multiprocessing.get_context()
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, SweepJob] = {}
+        self._pending: deque = deque()
+        self._workers: Dict[int, _Worker] = {}
+        self._worker_ids = itertools.count(1)
+        self._closed = False
+        #: Shards re-dispatched after a worker death or timeout (telemetry).
+        self.requeues = 0
+        for _ in range(workers):
+            self._spawn_worker()
+        self._pump = threading.Thread(target=self._pump_loop,
+                                      name="sweep-job-pump", daemon=True)
+        self._pump.start()
+
+    # -- public API --------------------------------------------------------
+
+    def submit(self, points: Sequence, config: Optional[SweepConfig] = None
+               ) -> SweepJob:
+        """Register a sweep: diff against the store, shard, enqueue.
+
+        Returns immediately; progress is observable via the job object
+        (``job.progress()`` / ``job.wait()``) or the HTTP layer.
+        """
+        config = config or SweepConfig()
+        points = list(points)
+        if not points:
+            raise ValueError("a sweep needs at least one point")
+        plan = diff_points(points, self.store, config)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobManager is closed")
+            job = SweepJob(f"sweep-{next(self._ids):06d}", plan, config,
+                           self._lock)
+            self._jobs[job.id] = job
+            job.emit("submitted", points=len(points),
+                     unique=len(job.unique_keys))
+            if plan.cached:
+                job.emit("cache_served", count=len(plan.cached))
+            shards = split_shards(
+                list(zip(plan.todo, plan.todo_keys)), self.shard_size)
+            job.state = SHARDED
+            job.emit("sharded", shards=len(shards),
+                     shard_size=self.shard_size)
+            for shard_id, pairs in enumerate(shards):
+                shard = _Shard(
+                    job.id, shard_id,
+                    [point_to_dict(point) for point, _ in pairs],
+                    [key for _, key in pairs])
+                self._pending.append(shard)
+            if shards:
+                job.state = RUNNING
+                self._dispatch()
+            else:
+                self._finalize(job)
+        return job
+
+    def job(self, job_id: str) -> Optional[SweepJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[SweepJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def worker_pids(self) -> List[int]:
+        """Live worker PIDs (fault-injection tests kill these)."""
+        with self._lock:
+            return [worker.process.pid for worker in self._workers.values()
+                    if worker.process.pid is not None]
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the pump and terminate the pool (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        self._pump.join(timeout)
+        for worker in workers:
+            worker.process.join(0.5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(0.5)
+            worker.conn.close()
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- worker pool -------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        worker_id = next(self._worker_ids)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, worker_id),
+            name=f"sweep-worker-{worker_id}", daemon=True)
+        process.start()
+        child_conn.close()
+        self._workers[worker_id] = _Worker(worker_id, process, parent_conn)
+
+    def _dispatch(self) -> None:
+        """Hand pending shards to idle workers (callers hold the lock)."""
+        for worker in list(self._workers.values()):
+            if not self._pending:
+                return
+            if worker.current is not None:
+                continue
+            shard = self._pending.popleft()
+            job = self._jobs[shard.job_id]
+            shard.attempts += 1
+            shard.state = "running"
+            worker.current = shard
+            worker.assigned_at = time.monotonic()
+            try:
+                worker.conn.send((shard.job_id, shard.shard_id,
+                                  shard.point_dicts,
+                                  job.config.to_dict()))
+            except (OSError, ValueError):
+                self._worker_died(worker, "pipe closed on dispatch")
+                continue
+            job.emit("shard_started", shard=shard.shard_id,
+                     attempt=shard.attempts, worker=worker.id,
+                     points=len(shard.keys))
+
+    # -- event pump --------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conns = {worker.conn: worker
+                         for worker in self._workers.values()}
+            try:
+                ready = mp_connection.wait(list(conns),
+                                           timeout=self.poll_interval)
+            except OSError:
+                ready = []
+            with self._lock:
+                if self._closed:
+                    return
+                for conn in ready:
+                    worker = conns.get(conn)
+                    if worker is None or worker.id not in self._workers:
+                        continue
+                    try:
+                        message = conn.recv()
+                    except Exception:
+                        self._worker_died(worker, "worker died mid-shard")
+                        continue
+                    self._handle_message(worker, message)
+                self._reap_dead_workers()
+                self._check_timeouts()
+                self._dispatch()
+
+    def _handle_message(self, worker: _Worker, message) -> None:
+        kind, job_id, shard_id, payload = message
+        shard = worker.current
+        worker.current = None
+        if (shard is None or shard.job_id != job_id
+                or shard.shard_id != shard_id or shard.state != "running"):
+            return  # stale reply from a shard already re-dispatched
+        job = self._jobs[job_id]
+        if kind == "done":
+            shard.state = "done"
+            for key, record in payload:
+                job.results[key] = record
+                if self.store is not None:
+                    self.store.put(key, record)
+            job.emit("shard_done", shard=shard.shard_id,
+                     attempt=shard.attempts, points=len(payload))
+            self._maybe_finish(job)
+        else:  # "error": the evaluation itself raised — deterministic, no retry
+            shard.state = "failed"
+            self._fail_shard_points(job, shard, str(payload))
+            job.emit("shard_error", shard=shard.shard_id, error=str(payload))
+            self._maybe_finish(job)
+
+    def _reap_dead_workers(self) -> None:
+        for worker in list(self._workers.values()):
+            if not worker.process.is_alive():
+                self._worker_died(worker, "worker process exited")
+
+    def _check_timeouts(self) -> None:
+        if self.shard_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            if (worker.current is not None
+                    and now - worker.assigned_at > self.shard_timeout):
+                worker.process.kill()
+                worker.process.join(0.5)
+                self._worker_died(worker, "shard timeout")
+
+    def _worker_died(self, worker: _Worker, reason: str) -> None:
+        """Replace a dead worker; requeue or fail its in-flight shard."""
+        self._workers.pop(worker.id, None)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        shard = worker.current
+        if shard is not None and shard.state == "running":
+            job = self._jobs[shard.job_id]
+            if shard.attempts <= self.max_retries:
+                shard.state = "pending"
+                self._pending.appendleft(shard)
+                self.requeues += 1
+                job.emit("shard_requeued", shard=shard.shard_id,
+                         attempt=shard.attempts, reason=reason)
+            else:
+                shard.state = "failed"
+                self._fail_shard_points(job, shard, reason)
+                job.emit("shard_failed", shard=shard.shard_id,
+                         attempts=shard.attempts, reason=reason)
+                self._maybe_finish(job)
+        if not self._closed and len(self._workers) < self.n_workers:
+            self._spawn_worker()
+
+    # -- completion --------------------------------------------------------
+
+    def _fail_shard_points(self, job: SweepJob, shard: _Shard,
+                           reason: str) -> None:
+        """Record per-point failures.  Failures are job state only — they
+        are never written to the store, so a transient fault cannot poison
+        future sweeps."""
+        for key, point_dict in zip(shard.keys, shard.point_dicts):
+            job.failures[key] = {"key": key, "point": point_dict,
+                                 "error": reason}
+
+    def _maybe_finish(self, job: SweepJob) -> None:
+        accounted = len(job.results) + len(job.failures)
+        if accounted >= len(job.unique_keys):
+            self._finalize(job)
+
+    def _finalize(self, job: SweepJob) -> None:
+        if job.done:
+            return
+        job.state = FAILED if job.failures else DONE
+        job.finished_at = time.time()
+        job.emit("completed", state=job.state,
+                 cached=len(job.cached_keys),
+                 simulated=len(job.results) - len(job.cached_keys),
+                 failed=len(job.failures))
+        job._terminal.set()

@@ -1,0 +1,258 @@
+"""Content-addressed on-disk result store.
+
+A :class:`ResultStore` maps hex digest keys (see :mod:`repro.serve.records`
+for how keys are derived from memo identities) to JSON records.  Design
+goals, in order:
+
+* **Never serve a wrong record.**  Every blob carries its schema version
+  and its own key; a mismatch on either is treated as a miss and the blob
+  is removed (schema bumps invalidate cleanly, a blob copied to the wrong
+  path can never alias another key).
+* **Never crash on a bad blob.**  Unparseable files — torn by a crashed
+  writer on a non-atomic filesystem, truncated by a full disk, hand-edited
+  — are moved to ``quarantine/`` for post-mortem and reported as a miss,
+  so the caller simply re-simulates.
+* **Concurrent writers stay safe.**  Writes go to a temporary file in the
+  same directory followed by :func:`os.replace`, so readers see either the
+  old record or the new one, never a torn write.  Two writers racing on
+  one key both write valid records with identical content (records are
+  deterministic functions of the key), so last-write-wins is harmless.
+* **Bounded size.**  With ``max_entries`` set, least-recently-*used*
+  records are evicted once the cap is exceeded (reads refresh a blob's
+  mtime, which is the recency clock).
+
+Layout on disk (see ``docs/exploration.md`` for the operator view)::
+
+    <root>/
+      objects/<key[:2]>/<key>.json     one record per key
+      quarantine/<name>.<n>            corrupt blobs, moved aside, never read
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Version of the record envelope/payload layout.  Bumping it invalidates
+#: every existing record: :meth:`ResultStore.get` treats a mismatched blob
+#: as a miss and deletes it, so a schema migration needs no tooling — the
+#: next sweep simply re-simulates and re-populates.
+SCHEMA_VERSION = 1
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+def _valid_key(key: str) -> bool:
+    return (isinstance(key, str) and 8 <= len(key) <= 128
+            and set(key) <= _KEY_CHARS)
+
+
+class StoreError(ValueError):
+    """A caller-side misuse of the store (bad key, bad record envelope)."""
+
+
+class ResultStore:
+    """Persistent, content-addressed JSON-record store.
+
+    Parameters
+    ----------
+    root:
+        Directory to hold the store (created if missing, together with its
+        ``objects/`` and ``quarantine/`` subdirectories).
+    max_entries:
+        Optional LRU cap.  ``None`` (default) means unbounded; an integer
+        ``n`` keeps at most ``n`` records, evicting the least recently
+        read/written after each :meth:`put`.
+
+    Statistics (``hits``/``misses``/``puts``/``evictions``/``quarantined``
+    /``invalidated``) count events since construction; the service's status
+    endpoint exposes them via :meth:`stats`.
+    """
+
+    def __init__(self, root, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise StoreError(f"max_entries must be >= 1, got {max_entries}")
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.quarantined = 0
+        self.invalidated = 0
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s record lives (whether or not it exists yet)."""
+        if not _valid_key(key):
+            raise StoreError(f"malformed store key {key!r}")
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- read side ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The record stored under ``key``, or ``None`` on any miss.
+
+        A corrupt blob is quarantined, a stale-schema or mis-keyed blob is
+        deleted; both count as misses — the caller's contract is simply
+        "recompute on ``None``", never an exception for on-disk state.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, NotADirectoryError):
+            self.misses += 1
+            return None
+        try:
+            record = json.loads(text)
+            if not isinstance(record, dict):
+                raise ValueError("record is not a JSON object")
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if record.get("schema") != SCHEMA_VERSION or record.get("key") != key:
+            # Stale schema or aliased key: silently invalid, cleanly removed.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.invalidated += 1
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        self.hits += 1
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> List[str]:
+        """Every stored key (unordered scan of the objects tree)."""
+        return [path.stem for _, path in self._entries()]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    # -- write side --------------------------------------------------------
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key``.
+
+        The record must already carry the matching ``key`` and current
+        ``schema`` fields (the records module builds such envelopes);
+        refusing mismatches here keeps a bug from planting records that
+        :meth:`get` would immediately discard.
+        """
+        path = self.path_for(key)
+        if record.get("schema") != SCHEMA_VERSION:
+            raise StoreError(
+                f"record schema {record.get('schema')!r} != current "
+                f"{SCHEMA_VERSION} (build records via repro.serve.records)")
+        if record.get("key") != key:
+            raise StoreError(
+                f"record key {record.get('key')!r} does not match store "
+                f"key {key!r}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(record, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(prefix=f".{key[:8]}-", suffix=".tmp",
+                                        dir=str(path.parent))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        if self.max_entries is not None:
+            self._evict_over_cap()
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key``'s record if present; returns whether one existed."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            return False
+        self.invalidated += 1
+        return True
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot plus the current entry count."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "invalidated": self.invalidated,
+        }
+
+    def _entries(self) -> Iterator[Tuple[float, Path]]:
+        """(mtime, path) for every record blob currently on disk."""
+        try:
+            buckets = list(self.objects_dir.iterdir())
+        except OSError:
+            return
+        for bucket in buckets:
+            if not bucket.is_dir():
+                continue
+            try:
+                blobs = list(bucket.iterdir())
+            except OSError:
+                continue
+            for blob in blobs:
+                if blob.suffix != ".json":
+                    continue
+                try:
+                    yield blob.stat().st_mtime, blob
+                except OSError:
+                    continue  # raced with an eviction/invalidation
+
+    def _evict_over_cap(self) -> None:
+        entries = sorted(self._entries())  # oldest mtime first
+        excess = len(entries) - (self.max_entries or 0)
+        for _, path in entries[:max(0, excess)]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.evictions += 1
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt blob aside (never delete evidence)."""
+        base = self.quarantine_dir / path.name
+        target = base
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = base.with_suffix(f"{base.suffix}.{counter}")
+        try:
+            os.replace(path, target)
+            self.quarantined += 1
+        except OSError:
+            # Worst case (e.g. quarantine dir removed): drop the blob so
+            # the next run is not poisoned by it either.
+            try:
+                path.unlink()
+            except OSError:
+                pass

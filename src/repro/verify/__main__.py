@@ -17,10 +17,17 @@ from .rng import SEED_ENV, default_seed
 from .session import TARGETS, verify, verify_matrix
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
-        description="Constrained-random verification of the pattern library.")
+        description="Constrained-random verification of the pattern library.",
+        epilog="With --store DIR, clean sessions persist in the same "
+               "content-addressed result store the exploration service uses "
+               "(keyed by target x seed x cycles x strategy); a re-run of "
+               "an already-clean matrix replays summaries and coverage from "
+               "the store without simulating.  Failing sessions are never "
+               "cached — they always re-run and print their reproduction "
+               "command.  Full operator guide: docs/exploration.md.")
     parser.add_argument("targets", nargs="*",
                         help="target names (default: every registered target)")
     parser.add_argument("--list", action="store_true",
@@ -39,7 +46,14 @@ def main(argv=None) -> int:
                         help="write the merged coverage database here")
     parser.add_argument("--min-coverage", type=float, default=None, metavar="PCT",
                         help="fail if any target's merged coverage is below PCT")
-    args = parser.parse_args(argv)
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent result store; clean sessions are "
+                             "replayed from it instead of re-simulating")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     if args.list:
         for name, spec in TARGETS.items():
@@ -52,19 +66,48 @@ def main(argv=None) -> int:
         print(f"unknown target(s): {unknown}; see --list", file=sys.stderr)
         return 2
 
+    store = None
+    if args.store is not None:
+        from ..serve.store import ResultStore
+
+        store = ResultStore(args.store)
+
     db = CoverageDB()
     failures = []
     for name in names:
+        # The store key needs the *resolved* cycle budget — "--cycles 1500"
+        # and the bare default must land on one key.
+        cycles = (args.cycles if args.cycles is not None
+                  else TARGETS[name].default_cycles)
+        cached = {}
+        if store is not None:
+            from ..serve.records import record_matches, verify_key
+
+            for seed in args.seeds:
+                record = store.get(
+                    verify_key(name, seed, cycles, args.strategy))
+                if record_matches(record, "verify"):
+                    cached[seed] = record
+        fresh_seeds = [seed for seed in args.seeds if seed not in cached]
         # compiled-batched runs the whole seed matrix for a target as ONE
         # lockstep simulation loop (one lane per seed); scalar strategies
         # run one session per (target, seed) pair.
         if args.strategy == "compiled-batched":
-            results = verify_matrix(name, args.seeds, cycles=args.cycles)
+            results = verify_matrix(name, fresh_seeds, cycles=args.cycles)
         else:
             results = [verify(name, seed=seed, cycles=args.cycles,
                               strategy=args.strategy)
-                       for seed in args.seeds]
-        for result in results:
+                       for seed in fresh_seeds]
+        by_seed = {result.seed: result for result in results}
+        for seed in args.seeds:
+            if seed in cached:
+                from ..serve.records import verify_summary_line
+
+                record = cached[seed]
+                db.add(record["result"]["coverage_group"])
+                print(verify_summary_line(record))
+                continue
+            result = by_seed[seed]
             db.add(result.coverage)
             print(result.summary())
             if not result.ok:
@@ -72,6 +115,13 @@ def main(argv=None) -> int:
                 for violation in result.violations[:5]:
                     print(f"    {violation}")
                 print(f"    reproduce with: {result.repro_command()}")
+            elif store is not None:
+                # Only clean sessions are persisted: a failing session must
+                # always re-run and reprint its reproduction command.
+                from ..serve.records import verify_key, verify_record
+
+                key = verify_key(name, seed, cycles, args.strategy)
+                store.put(key, verify_record(result, key))
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -1,0 +1,59 @@
+"""Every public CLI flag must be documented in the operator's guide.
+
+The parsers are the source of truth: any flag added to ``repro.explore``,
+``repro.verify`` or ``repro.serve`` without a matching mention in
+``docs/exploration.md`` fails here, so the guide can never silently lag
+the tools it documents.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.explore.__main__ import build_parser as explore_parser
+from repro.serve.__main__ import build_parser as serve_parser
+from repro.verify.__main__ import build_parser as verify_parser
+
+GUIDE = (Path(__file__).resolve().parents[2] / "docs" /
+         "exploration.md").read_text()
+
+
+def public_flags(parser):
+    flags = set()
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                flags.add(option)
+    return sorted(flags)
+
+
+PARSERS = {
+    "explore": explore_parser(),
+    "verify": verify_parser(),
+    "serve": serve_parser(),
+}
+CASES = [(name, flag) for name, parser in PARSERS.items()
+         for flag in public_flags(parser)]
+
+
+def test_the_parsers_expose_the_expected_surfaces():
+    assert "--store" in public_flags(PARSERS["explore"])
+    assert "--server" in public_flags(PARSERS["explore"])
+    assert "--store" in public_flags(PARSERS["verify"])
+    assert "--shard-timeout" in public_flags(PARSERS["serve"])
+    assert len(CASES) >= 30, "the three CLIs together expose 30+ flags"
+
+
+@pytest.mark.parametrize("cli, flag", CASES,
+                         ids=[f"{cli}:{flag}" for cli, flag in CASES])
+def test_flag_is_documented(cli, flag):
+    assert f"`{flag}" in GUIDE, \
+        f"{cli}'s {flag} is missing from docs/exploration.md"
+
+
+def test_epilogs_point_at_the_guide():
+    for name, parser in PARSERS.items():
+        if name == "serve":
+            continue  # serve's --help is the service surface itself
+        assert "docs/exploration.md" in (parser.epilog or ""), \
+            f"{name} --help must point operators at the guide"

@@ -1,0 +1,208 @@
+"""Robustness of the content-addressed result store.
+
+The store's contract is "recompute on ``None``, never crash on disk
+state": corrupt blobs quarantine, stale schemas invalidate cleanly,
+concurrent writers never tear a record, and the LRU cap evicts the least
+recently *used* entry.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.store import SCHEMA_VERSION, ResultStore, StoreError
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+
+
+def make_record(key, payload=0):
+    return {"schema": SCHEMA_VERSION, "kind": "test", "key": key,
+            "result": {"payload": payload}}
+
+
+# -- basic round trip -----------------------------------------------------------
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get(KEY_A) is None
+    store.put(KEY_A, make_record(KEY_A, payload=7))
+    assert store.get(KEY_A)["result"]["payload"] == 7
+    assert KEY_A in store
+    assert store.keys() == [KEY_A]
+    assert store.stats()["entries"] == 1
+    assert store.stats()["hits"] == 1
+    assert store.stats()["misses"] == 1
+
+
+def test_malformed_keys_are_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    for bad in ("", "short", "XYZ" + "0" * 61, "../../../etc/passwd", None):
+        with pytest.raises(StoreError):
+            store.path_for(bad)
+
+
+def test_put_refuses_mismatched_envelopes(tmp_path):
+    store = ResultStore(tmp_path)
+    with pytest.raises(StoreError):
+        store.put(KEY_A, make_record(KEY_B))  # wrong key
+    with pytest.raises(StoreError):
+        store.put(KEY_A, {**make_record(KEY_A), "schema": 999})
+
+
+def test_invalidate_drops_the_record(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(KEY_A, make_record(KEY_A))
+    assert store.invalidate(KEY_A) is True
+    assert store.get(KEY_A) is None
+    assert store.invalidate(KEY_A) is False
+
+
+# -- corruption -----------------------------------------------------------------
+
+
+def test_corrupt_blob_is_quarantined_and_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(KEY_A, make_record(KEY_A))
+    store.path_for(KEY_A).write_text("{ torn json", encoding="utf-8")
+
+    assert store.get(KEY_A) is None  # miss, not an exception
+    assert store.stats()["quarantined"] == 1
+    quarantined = list((tmp_path / "quarantine").iterdir())
+    assert len(quarantined) == 1
+    assert quarantined[0].read_text(encoding="utf-8") == "{ torn json"
+    # The slot is free again: a re-computed record persists normally.
+    store.put(KEY_A, make_record(KEY_A, payload=2))
+    assert store.get(KEY_A)["result"]["payload"] == 2
+
+
+def test_repeated_corruption_keeps_all_the_evidence(tmp_path):
+    store = ResultStore(tmp_path)
+    for n in range(3):
+        store.put(KEY_A, make_record(KEY_A))
+        store.path_for(KEY_A).write_text(f"garbage {n}", encoding="utf-8")
+        assert store.get(KEY_A) is None
+    assert len(list((tmp_path / "quarantine").iterdir())) == 3
+
+
+def test_non_object_json_blob_is_quarantined(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.path_for(KEY_A)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    assert store.get(KEY_A) is None
+    assert store.stats()["quarantined"] == 1
+
+
+# -- schema + key validation ----------------------------------------------------
+
+
+def test_schema_bump_invalidates_cleanly(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(KEY_A, make_record(KEY_A))
+    # Simulate a blob written by an older (or newer) code generation.
+    stale = {**make_record(KEY_A), "schema": SCHEMA_VERSION + 1}
+    store.path_for(KEY_A).write_text(json.dumps(stale), encoding="utf-8")
+
+    assert store.get(KEY_A) is None
+    assert store.stats()["invalidated"] == 1
+    assert not store.path_for(KEY_A).exists(), \
+        "stale-schema blobs must be deleted, not quarantined"
+
+
+def test_blob_copied_to_the_wrong_path_cannot_alias_another_key(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(KEY_A, make_record(KEY_A))
+    path_b = store.path_for(KEY_B)
+    path_b.parent.mkdir(parents=True, exist_ok=True)
+    path_b.write_text(store.path_for(KEY_A).read_text(encoding="utf-8"),
+                      encoding="utf-8")
+    assert store.get(KEY_B) is None  # embedded key wins over the path
+    assert store.get(KEY_A) is not None
+
+
+# -- concurrency ----------------------------------------------------------------
+
+
+def test_concurrent_writers_and_readers_never_see_a_torn_record(tmp_path):
+    store = ResultStore(tmp_path)
+    keys = [f"{i:02x}" + "d" * 62 for i in range(4)]
+    errors = []
+
+    def writer(worker):
+        try:
+            for round_no in range(25):
+                for key in keys:
+                    store.put(key, make_record(key, payload=worker))
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    def reader():
+        try:
+            for _ in range(200):
+                for key in keys:
+                    record = store.get(key)
+                    if record is not None:
+                        # Atomic replace => always a complete valid record.
+                        assert record["key"] == key
+                        assert "payload" in record["result"]
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+    threads += [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    assert store.stats()["quarantined"] == 0
+    for key in keys:
+        assert store.get(key)["result"]["payload"] in (0, 1, 2)
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    store = ResultStore(tmp_path)
+    for key in (KEY_A, KEY_B, KEY_C):
+        store.put(key, make_record(key))
+    leftovers = [p for p in (tmp_path / "objects").rglob("*")
+                 if p.is_file() and p.suffix != ".json"]
+    assert leftovers == []
+
+
+# -- LRU cap --------------------------------------------------------------------
+
+
+def test_lru_cap_evicts_the_least_recently_used(tmp_path):
+    store = ResultStore(tmp_path, max_entries=2)
+    store.put(KEY_A, make_record(KEY_A))
+    store.put(KEY_B, make_record(KEY_B))
+    # Recency is the read/write clock: make A fresher than B...
+    future = store.path_for(KEY_B).stat().st_mtime + 10
+    import os
+
+    os.utime(store.path_for(KEY_A), (future, future))
+    store.put(KEY_C, make_record(KEY_C))  # ...so the third put evicts B.
+    assert store.get(KEY_B) is None
+    assert store.get(KEY_A) is not None
+    assert store.get(KEY_C) is not None
+    assert store.stats()["evictions"] == 1
+    assert len(store) == 2
+
+
+def test_unbounded_store_never_evicts(tmp_path):
+    store = ResultStore(tmp_path)
+    for i in range(10):
+        key = f"{i:02x}" + "e" * 62
+        store.put(key, make_record(key))
+    assert len(store) == 10
+    assert store.stats()["evictions"] == 0
+
+
+def test_bad_cap_is_rejected(tmp_path):
+    with pytest.raises(StoreError):
+        ResultStore(tmp_path, max_entries=0)
