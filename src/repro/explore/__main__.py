@@ -33,6 +33,9 @@ import argparse
 import json
 import sys
 
+from ..obs import export as _obs_export
+from ..obs import profile as _obs_profile
+from ..obs import tracing as _obs_tracing
 from ..rtl import COMPILED_BATCHED
 from .report import comparison_report, coverage_summary, results_table
 from .runner import AUTO, ExplorationRunner
@@ -100,6 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                      help="give up waiting on a --server sweep after this "
                           "long (default: wait forever)")
+
+    obs = parser.add_argument_group("telemetry (docs/observability.md)")
+    obs.add_argument("--trace", metavar="PATH", default=None,
+                     help="record spans for the whole sweep and write them "
+                          "here; .ndjson/.jsonl gets the line format, any "
+                          "other extension gets Chrome trace-event JSON "
+                          "(inspect with python -m repro.obs)")
+    obs.add_argument("--profile", action="store_true",
+                     help="print a per-strategy settle/compile wall-time "
+                          "breakdown after the sweep")
 
     out = parser.add_argument_group("output")
     out.add_argument("--title", default="Design-space exploration.")
@@ -244,6 +257,26 @@ def _run_remote(args, spec: dict) -> int:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    profiler = _obs_profile.enable() if args.profile else None
+    if args.trace is not None:
+        _obs_tracing.enable()
+    try:
+        return _run(args)
+    finally:
+        if args.trace is not None:
+            _obs_tracing.disable()
+            trace_records = _obs_tracing.drain()
+            fmt = _obs_export.write_trace(trace_records, args.trace)
+            if not args.quiet:
+                print(f"trace: {len(trace_records)} record(s) written to "
+                      f"{args.trace} ({fmt})")
+        if profiler is not None:
+            _obs_profile.disable()
+            if not args.quiet:
+                print(profiler.report())
+
+
+def _run(args) -> int:
     spec = merged_spec(args, _load_spec(args.grid))
 
     try:
@@ -264,11 +297,14 @@ def main(argv=None) -> int:
         lanes=args.lanes, store=args.store)
 
     sections = []
-    if design_points:
-        sections.append((f"{args.title} (designs)", runner.run(design_points)))
-    if pipeline_points:
-        sections.append((f"{args.title} (pipelines)",
-                         runner.run(pipeline_points)))
+    with _obs_tracing.span("explore.sweep", strategy=args.strategy,
+                           points=len(design_points) + len(pipeline_points)):
+        if design_points:
+            sections.append((f"{args.title} (designs)",
+                             runner.run(design_points)))
+        if pipeline_points:
+            sections.append((f"{args.title} (pipelines)",
+                             runner.run(pipeline_points)))
 
     cache_note = f"({runner.cache_hits} from cache)"
     if args.store is not None:

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import tracing as _obs_tracing
+from ..obs.metrics import REGISTRY as _REGISTRY
 from ..designs import (
     BlurPatternDesign,
     Saa2VgaPatternDesign,
@@ -202,14 +204,21 @@ def evaluate_point(point, strategy: str = AUTO,
         return evaluate_points_batched(
             [point], max_cycles=max_cycles, verify=verify,
             verify_seed=verify_seed, verify_cycles=verify_cycles)[0]
-    frame = stimulus_frame(point)
-    golden = golden_output(point, frame)
-    design = build_design(point)
-    result = run_stream_through(design, frame, expected_outputs=len(golden),
-                                max_cycles=max_cycles, strategy=strategy)
-    return _characterise(point, design, result["pixels"], result["cycles"],
-                         golden, verify, verify_seed, verify_cycles,
-                         verify_strategy=strategy)
+    with _obs_tracing.span("explore.point", strategy=strategy,
+                           design=getattr(point, "design",
+                                          type(point).__name__)):
+        frame = stimulus_frame(point)
+        golden = golden_output(point, frame)
+        with _obs_tracing.span("build"):
+            design = build_design(point)
+        result = run_stream_through(design, frame,
+                                    expected_outputs=len(golden),
+                                    max_cycles=max_cycles, strategy=strategy)
+        with _obs_tracing.span("characterize", verify=verify):
+            return _characterise(point, design, result["pixels"],
+                                 result["cycles"], golden, verify,
+                                 verify_seed, verify_cycles,
+                                 verify_strategy=strategy)
 
 
 def evaluate_points_batched(points: Sequence,
@@ -238,13 +247,14 @@ def evaluate_points_batched(points: Sequence,
     of batched simulation loops run — the observability hook the runner and
     the benchmark suite use.
     """
-    prepared = []
-    for point in points:
-        frame = stimulus_frame(point)
-        golden = golden_output(point, frame)
-        design = build_design(point)
-        system = VideoSystem(design, frames=[frame])
-        prepared.append((point, design, system, golden))
+    with _obs_tracing.span("build", points=len(points)):
+        prepared = []
+        for point in points:
+            frame = stimulus_frame(point)
+            golden = golden_output(point, frame)
+            design = build_design(point)
+            system = VideoSystem(design, frames=[frame])
+            prepared.append((point, design, system, golden))
 
     results: List[Optional[ExplorationResult]] = [None] * len(prepared)
     systems = [system for _, _, system, _ in prepared]
@@ -262,13 +272,14 @@ def evaluate_points_batched(points: Sequence,
             done = batch.run_lockstep(conditions, max_cycles=max_cycles)
             if stats is not None:
                 stats["batches"] = stats.get("batches", 0) + 1
-            for lane, i in enumerate(chunk):
-                point, design, system, golden = prepared[i]
-                pixels = system.received_pixels()[:len(golden)]
-                results[i] = _characterise(
-                    point, design, pixels, done[lane], golden,
-                    verify, verify_seed, verify_cycles,
-                    verify_strategy=COMPILED)
+            with _obs_tracing.span("characterize", lanes=len(chunk)):
+                for lane, i in enumerate(chunk):
+                    point, design, system, golden = prepared[i]
+                    pixels = system.received_pixels()[:len(golden)]
+                    results[i] = _characterise(
+                        point, design, pixels, done[lane], golden,
+                        verify, verify_seed, verify_cycles,
+                        verify_strategy=COMPILED)
     return results  # type: ignore[return-value]
 
 
@@ -420,9 +431,12 @@ class ExplorationRunner:
                 else:
                     cache[self._memo_key(point)] = result
                     self.store_hits += 1
+                    _REGISTRY.inc("explore_store_hits")
             todo = remaining
         self.cache_hits += len(points) - len(todo)
         self.evaluations += len(todo)
+        _REGISTRY.inc("explore_cache_hits", len(points) - len(todo))
+        _REGISTRY.inc("explore_evaluations", len(todo))
         if todo:
             if resolve_strategy(self.strategy) == COMPILED_BATCHED:
                 stats: Dict[str, int] = {}
@@ -432,6 +446,7 @@ class ExplorationRunner:
                     verify_cycles=self.verify_cycles, lanes=self.lanes,
                     stats=stats)
                 self.batch_runs += stats.get("batches", 0)
+                _REGISTRY.inc("explore_batch_runs", stats.get("batches", 0))
             elif self.processes is not None and self.processes > 1:
                 fresh = self._run_pool(todo)
             else:

@@ -1,0 +1,65 @@
+"""Unified telemetry: metrics registry, structured tracing, profiling.
+
+The observation layer for the whole stack (simulate → compile → sweep →
+serve), with three pillars:
+
+``repro.obs.metrics``
+    A thread-safe process-wide registry of counters, gauges and labeled
+    histogram series.  Supersedes the ad-hoc ``repro.rtl.instrument``
+    counters (which survive as a compat shim over the same registry) and
+    feeds the sweep server's Prometheus-style ``GET /metrics`` endpoint.
+
+``repro.obs.tracing``
+    Nestable spans (``with obs.span("settle", strategy=...)``) recorded
+    into an in-process ring buffer, exportable as NDJSON or
+    Perfetto-loadable Chrome trace-event JSON (:mod:`repro.obs.export`).
+
+``repro.obs.profile``
+    Opt-in per-settle breakdowns (time per strategy, convergence
+    iteration counts, fallback hits) behind the ``--profile`` CLI flags.
+
+Everything is **off by default**, and the disabled paths are guaranteed
+allocation-free on the simulator hot loop (``tests/obs/test_overhead.py``
+and the ``compiled-obs-off`` benchmark floor in
+``benchmarks/check_regression.py`` enforce it).
+
+``python -m repro.obs`` summarizes, converts and validates trace files;
+the operator guide is ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from . import export, metrics, profile, tracing
+from .metrics import REGISTRY, MetricsRegistry, render_prometheus
+from .profile import SettleProfiler
+from .tracing import add_event, enabled, span
+
+#: Tracing switches re-exported under operator-friendly names.
+enable_tracing = tracing.enable
+disable_tracing = tracing.disable
+tracing_enabled = tracing.enabled
+
+#: Profiling switches.
+enable_profiling = profile.enable
+disable_profiling = profile.disable
+profiler = profile.active
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "SettleProfiler",
+    "add_event",
+    "disable_profiling",
+    "disable_tracing",
+    "enable_profiling",
+    "enable_tracing",
+    "enabled",
+    "export",
+    "metrics",
+    "profile",
+    "profiler",
+    "render_prometheus",
+    "span",
+    "tracing",
+    "tracing_enabled",
+]

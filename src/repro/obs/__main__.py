@@ -1,0 +1,113 @@
+"""Command-line entry: ``python -m repro.obs`` — trace-file tooling.
+
+Three subcommands over the trace files the ``--trace`` CLI flags (and the
+:mod:`repro.obs.export` API) produce::
+
+    python -m repro.obs summarize trace.ndjson
+        Per-phase span aggregates plus the root-span wall-time
+        attribution figure.
+
+    python -m repro.obs convert trace.ndjson trace.json
+        Re-encode between formats by extension: ``.ndjson``/``.jsonl``
+        is the lossless line format, anything else is Chrome
+        trace-event JSON (load it at https://ui.perfetto.dev).
+
+    python -m repro.obs validate trace.json --min-attribution 95
+        Check the Chrome trace-event invariants (monotonic ``ts``,
+        complete ``X``/instant ``i`` events only, stable ``pid``) and,
+        optionally, that the span tree attributes at least the given
+        percentage of the root span's wall time to named child phases.
+        Exit status 1 on any violation — this is what the CI
+        observability smoke job gates on.
+
+Operator guide: ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import (
+    attribution,
+    read_trace,
+    summarize,
+    to_chrome,
+    validate_chrome,
+    write_trace,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, convert and validate repro trace files.",
+        epilog="Trace files come from the --trace flag of "
+               "python -m repro.explore (see docs/observability.md).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmd = sub.add_parser("summarize", help="per-phase span summary table")
+    cmd.add_argument("trace", help="trace file (NDJSON or Chrome JSON)")
+
+    cmd = sub.add_parser("convert", help="re-encode a trace by extension")
+    cmd.add_argument("trace", help="input trace file")
+    cmd.add_argument("output", help="output path (.ndjson/.jsonl or .json)")
+
+    cmd = sub.add_parser("validate",
+                         help="check trace-event structural invariants")
+    cmd.add_argument("trace", help="trace file (NDJSON or Chrome JSON)")
+    cmd.add_argument("--min-attribution", type=float, default=None,
+                     metavar="PCT",
+                     help="also require >= PCT%% of the root span's wall "
+                          "time to be attributed to its child phases "
+                          "(needs an NDJSON trace for tree structure)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        records = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "summarize":
+        print(summarize(records))
+        return 0
+
+    if args.command == "convert":
+        fmt = write_trace(records, args.output)
+        print(f"{len(records)} record(s) written to {args.output} ({fmt})")
+        return 0
+
+    # validate
+    problems = validate_chrome(to_chrome(records))
+    if args.min_attribution is not None:
+        attributed = attribution(records)
+        if attributed is None:
+            problems.append(
+                "no root span with id/parent structure found (use an "
+                "NDJSON trace for attribution checks)")
+        else:
+            root, fraction = attributed
+            if fraction * 100 < args.min_attribution:
+                problems.append(
+                    f"root span {root['name']!r} attributes only "
+                    f"{fraction * 100:.1f}% of its wall time to child "
+                    f"phases (need {args.min_attribution}%)")
+            else:
+                print(f"attribution: {fraction * 100:.1f}% of "
+                      f"{root['name']!r} covered by child phases")
+    if problems:
+        print(f"trace {args.trace} is INVALID:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"trace {args.trace} is valid "
+          f"({len(records)} record(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Structured tracing: nestable spans into an in-process ring buffer.
+
+Tracing is **off by default** and the disabled path is engineered to stay
+off the simulator's hot loop: :func:`enabled` is one attribute read, and
+:func:`span` returns a shared stateless no-op context manager without
+allocating anything.  Call sites on per-cycle paths guard with
+``if tracing.enabled():`` so even that function call never happens per
+cycle (``tests/obs/test_overhead.py`` pins both properties).
+
+When enabled (:func:`enable`), ``with span("settle", strategy=...)``
+records a completed-span dict into a bounded ring buffer
+(:class:`collections.deque`; overflow evicts the oldest records and
+counts them in :func:`stats`).  Spans nest through a thread-local stack,
+so every record carries its parent's id and the whole buffer reconstructs
+a span *tree* per thread.  :func:`add_event` records zero-duration
+instant events (the job manager's shard lifecycle uses these).
+
+Records are plain dicts with a stable schema::
+
+    {"name": str, "ph": "X"|"i", "ts": int (ns, relative to enable()),
+     "dur": int (ns, spans only), "pid": int, "tid": int,
+     "id": int, "parent": int|None, "args": {...}}
+
+Export to NDJSON / Chrome trace-event JSON lives in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+#: Default ring-buffer capacity (completed records, spans + events).
+DEFAULT_CAPACITY = 200_000
+
+
+class _TraceState:
+    """The module-global tracing switchboard."""
+
+    __slots__ = ("active", "buffer", "capacity", "dropped", "t0",
+                 "lock", "local", "ids", "session")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.buffer: deque = deque()
+        self.capacity = 0
+        self.dropped = 0
+        self.t0 = 0
+        self.lock = threading.Lock()
+        self.local = threading.local()
+        self.ids = itertools.count(1)
+        self.session = 0
+
+
+_STATE = _TraceState()
+
+
+def enabled() -> bool:
+    """Is tracing currently recording?  (One attribute read — hot-path safe.)"""
+    return _STATE.active
+
+
+def enable(capacity: int = DEFAULT_CAPACITY) -> None:
+    """Start recording spans into a fresh ring buffer of ``capacity``."""
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    with _STATE.lock:
+        _STATE.buffer = deque(maxlen=capacity)
+        _STATE.capacity = capacity
+        _STATE.dropped = 0
+        _STATE.t0 = time.perf_counter_ns()
+        _STATE.ids = itertools.count(1)
+        _STATE.session += 1
+        _STATE.active = True
+
+
+def disable() -> None:
+    """Stop recording.  The buffer keeps its records until the next enable."""
+    _STATE.active = False
+
+
+def stats() -> Dict[str, int]:
+    """Buffer occupancy and overflow accounting."""
+    return {"recorded": len(_STATE.buffer), "dropped": _STATE.dropped,
+            "capacity": _STATE.capacity}
+
+
+def records() -> List[dict]:
+    """Snapshot of the buffered records (completion order)."""
+    return list(_STATE.buffer)
+
+
+def drain() -> List[dict]:
+    """Return the buffered records and clear the buffer."""
+    with _STATE.lock:
+        out = list(_STATE.buffer)
+        _STATE.buffer.clear()
+        return out
+
+
+def _stack() -> list:
+    # Per-thread span stack, reset lazily when a new enable() session
+    # starts so a span left open across sessions cannot donate a stale
+    # parent id to the new buffer.
+    if getattr(_STATE.local, "session", None) != _STATE.session:
+        _STATE.local.session = _STATE.session
+        _STATE.local.stack = []
+    return _STATE.local.stack
+
+
+def _append(record: dict) -> None:
+    buffer = _STATE.buffer
+    if buffer.maxlen is not None and len(buffer) >= buffer.maxlen:
+        _STATE.dropped += 1
+    buffer.append(record)
+
+
+class _NullSpan:
+    """Shared no-op span: what :func:`span` hands out while disabled."""
+
+    __slots__ = ()
+
+    #: Shared scratch dict so ``sp.args[...] = ...`` on call sites that
+    #: enrich a span after the fact stays valid (and allocation-free)
+    #: when they got the null span instead.  Never read from.
+    args: Dict[str, object] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; use via ``with span(...) as sp``."""
+
+    __slots__ = ("name", "args", "span_id", "parent", "start", "tid")
+
+    def __init__(self, name: str, args: Dict[str, object]) -> None:
+        self.name = name
+        self.args = args
+        self.span_id = next(_STATE.ids)
+        self.parent: Optional[int] = None
+        self.start = 0
+        self.tid = threading.get_ident()
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self.start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter_ns()
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        _append({
+            "name": self.name, "ph": "X",
+            "ts": self.start - _STATE.t0, "dur": end - self.start,
+            "pid": os.getpid(), "tid": self.tid,
+            "id": self.span_id, "parent": self.parent,
+            "args": self.args,
+        })
+        return False
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant event parented to this span."""
+        _append({
+            "name": name, "ph": "i",
+            "ts": time.perf_counter_ns() - _STATE.t0,
+            "pid": os.getpid(), "tid": threading.get_ident(),
+            "id": next(_STATE.ids), "parent": self.span_id,
+            "args": attrs,
+        })
+
+
+def span(name: str, **attrs):
+    """A context manager recording one span (no-op while disabled)."""
+    if not _STATE.active:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def add_event(name: str, **attrs) -> None:
+    """Record an instant event parented to the current span (if any)."""
+    if not _STATE.active:
+        return
+    stack = _stack()
+    _append({
+        "name": name, "ph": "i",
+        "ts": time.perf_counter_ns() - _STATE.t0,
+        "pid": os.getpid(), "tid": threading.get_ident(),
+        "id": next(_STATE.ids), "parent": stack[-1] if stack else None,
+        "args": attrs,
+    })

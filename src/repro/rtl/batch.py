@@ -26,6 +26,7 @@ must read Python-side state the kernel keeps live (appended lists such as
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,8 @@ try:
 except ImportError:  # pragma: no cover - the toolchain ships numpy
     _np = None
 
+from ..obs import profile as _obs_profile
+from ..obs import tracing as _obs_tracing
 from . import instrument
 from .component import Component, Memory
 from .errors import CombinationalLoopError, SimulationError
@@ -66,12 +69,22 @@ def _program_for(top: Component, max_settle: int):
     from .compile.emit_batched import emit_batched_program
     from .compile.rebind import rebind_batched_program
 
-    for reference in _REFERENCE_CACHE:
-        program = rebind_batched_program(reference, top,
-                                         max_settle=max_settle)
-        if program is not None:
-            return program
-    program = emit_batched_program(top, max_settle=max_settle)
+    profiler = _obs_profile.active()
+    start = time.perf_counter() if profiler is not None else 0.0
+    with _obs_tracing.span("rebind", design=type(top).__name__,
+                           candidates=len(_REFERENCE_CACHE)):
+        for reference in _REFERENCE_CACHE:
+            program = rebind_batched_program(reference, top,
+                                             max_settle=max_settle)
+            if program is not None:
+                if profiler is not None:
+                    profiler.record_rebind(time.perf_counter() - start)
+                return program
+    with _obs_tracing.span("compile", strategy=COMPILED_BATCHED,
+                           design=type(top).__name__):
+        program = emit_batched_program(top, max_settle=max_settle)
+    if profiler is not None:
+        profiler.record_compile(time.perf_counter() - start)
     _REFERENCE_CACHE.appendleft(program)
     return program
 
@@ -212,6 +225,9 @@ class BatchedSimulator:
                  programs: Optional[Sequence] = None) -> None:
         _require_numpy()
         instrument.bump(instrument.BATCHED_CONSTRUCTIONS)
+        profiler = _obs_profile.active()
+        if profiler is not None:
+            profiler.record_sim(COMPILED_BATCHED)
 
         tops = list(tops)
         if not tops:
@@ -585,10 +601,15 @@ class BatchedSimulator:
         if cycles < 0:
             raise SimulationError(
                 f"cannot step a negative number of cycles: {cycles}")
+        profiler = _obs_profile.active()
+        start = time.perf_counter() if profiler is not None else 0.0
         cycle_fn = self._cycle_fn
         for _ in range(cycles):
             cycle_fn(self)
         self.sync_out()
+        if profiler is not None:
+            profiler.record_step(COMPILED_BATCHED, cycles * self.n_lanes,
+                                 time.perf_counter() - start)
 
     def run_until(self, condition: Callable[[], bool],
                   max_cycles: Optional[int] = None) -> int:
@@ -621,6 +642,33 @@ class BatchedSimulator:
         if len(conditions) != self.n_lanes:
             raise SimulationError(
                 f"{self.n_lanes} lanes but {len(conditions)} conditions")
+        if (_obs_profile._ACTIVE is not None
+                or _obs_tracing._STATE.active):
+            return self._run_lockstep_instrumented(conditions, max_cycles)
+        return self._run_lockstep(conditions, max_cycles)
+
+    def _run_lockstep_instrumented(self, conditions, max_cycles):
+        """Lockstep run under a ``batch.lockstep`` span / profiler record.
+
+        One span covers the whole batch run — lane count and the lockstep
+        cycle total land in its attributes; lane-cycles (cycles × lanes,
+        the throughput-relevant unit) are what the profiler accumulates.
+        """
+        profiler = _obs_profile.active()
+        start_cycle = self._cycles
+        wall = time.perf_counter()
+        with _obs_tracing.span("batch.lockstep", lanes=self.n_lanes) as sp:
+            done = self._run_lockstep(conditions, max_cycles)
+            sp.args["cycles"] = self._cycles - start_cycle
+        if profiler is not None:
+            profiler.record_step(
+                COMPILED_BATCHED,
+                (self._cycles - start_cycle) * self.n_lanes,
+                time.perf_counter() - wall)
+        return done
+
+    def _run_lockstep(self, conditions: Sequence[Callable[[], bool]],
+                      max_cycles: Optional[int] = None) -> List[int]:
         budget = self.max_cycles if max_cycles is None else max_cycles
         start = self._cycles
         done: List[Optional[int]] = [None] * self.n_lanes

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ...obs import tracing as _obs_tracing
 from .analyze import ProcAnalysis, analyze_proc
 from .emit import CompiledProgram, CompileReport, emit_program
 from .emit_batched import (
@@ -29,10 +30,18 @@ from .schedule import Schedule, build_schedule
 def compile_design(comb_procs: Sequence[Callable],
                    seq_procs: Sequence[Callable],
                    max_settle: int = 64) -> CompiledProgram:
-    """Compile a design's processes into a specialised settle/cycle pair."""
-    analyses = [analyze_proc(proc) for proc in comb_procs]
-    schedule = build_schedule(analyses)
-    return emit_program(schedule, comb_procs, seq_procs, max_settle)
+    """Compile a design's processes into a specialised settle/cycle pair.
+
+    Each pipeline stage runs under its own child span ("analyze" /
+    "schedule" / "emit") so traced compiles show where elaboration time
+    goes; with tracing disabled the spans are no-op singletons.
+    """
+    with _obs_tracing.span("analyze", procs=len(comb_procs)):
+        analyses = [analyze_proc(proc) for proc in comb_procs]
+    with _obs_tracing.span("schedule"):
+        schedule = build_schedule(analyses)
+    with _obs_tracing.span("emit"):
+        return emit_program(schedule, comb_procs, seq_procs, max_settle)
 
 
 __all__ = [

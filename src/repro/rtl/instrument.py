@@ -1,50 +1,52 @@
-"""Process-wide instrumentation counters.
+"""Process-wide instrumentation counters — compat shim over ``repro.obs``.
 
-The serve layer's core promise — a warm persistent cache performs **zero**
-simulations — is only provable if "a simulation happened" is observable
-from outside the simulator.  This module is that observation point: a tiny
-named-counter registry that the simulator constructors bump and that tests
-(and the service's status endpoints) read.
+Historically this module owned a tiny named-counter dict that the
+simulator constructors bump and that tests (and the service's status
+endpoints) read.  That registry has been absorbed by the unified
+telemetry layer: every function here now delegates to the process-global
+:data:`repro.obs.metrics.REGISTRY`, so the counters this module reports
+and the ones ``GET /metrics`` / ``GET /healthz`` serve are **the same
+storage** — bump here, scrape there.
 
-Counters are deliberately process-global and monotonic; callers that need
-a delta snapshot around a region use :func:`snapshot` / :func:`delta`::
+The public contract is unchanged and still what the zero-simulation
+assertions are written against::
 
     before = snapshot()
     runner.run(points)          # should be fully cache-served
     assert delta(before)["simulator_constructions"] == 0
 
-The registry is not thread-synchronised beyond the GIL's int-add atomicity,
-which is sufficient for counting; worker *processes* each count in their
-own registry (the job layer aggregates shard counts explicitly).
+Unlike the original dict (which leaned on the GIL's int-add atomicity),
+the backing registry takes a real :class:`threading.Lock` per mutation —
+``ThreadingHTTPServer`` handler threads and the job manager's pump
+thread bump these counters concurrently.  Worker *processes* still count
+in their own registry (the job layer aggregates shard counts explicitly).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs.metrics import REGISTRY
+
 #: Names bumped by the RTL layer itself.  Other layers may register their
 #: own names freely — the registry is open.
 SIMULATOR_CONSTRUCTIONS = "simulator_constructions"
 BATCHED_CONSTRUCTIONS = "batched_simulator_constructions"
 
-_counters: Dict[str, int] = {}
-
 
 def bump(name: str, amount: int = 1) -> int:
     """Increment ``name`` and return its new value."""
-    value = _counters.get(name, 0) + amount
-    _counters[name] = value
-    return value
+    return int(REGISTRY.inc(name, amount))
 
 
 def value(name: str) -> int:
     """Current value of ``name`` (0 if never bumped)."""
-    return _counters.get(name, 0)
+    return int(REGISTRY.value(name))
 
 
 def snapshot() -> Dict[str, int]:
-    """Copy of every counter, for later :func:`delta` comparison."""
-    return dict(_counters)
+    """Copy of every (unlabeled) counter, for later :func:`delta` comparison."""
+    return REGISTRY.counters()
 
 
 def delta(before: Dict[str, int],

@@ -50,8 +50,11 @@ the network is at the same fixed point, so the engines agree cycle-for-cycle.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Set
 
+from ..obs import profile as _obs_profile
+from ..obs import tracing as _obs_tracing
 from . import instrument
 from . import signal as _signal_state
 from .component import Component, Memory
@@ -113,6 +116,9 @@ class Simulator:
         #: falling back to fixpoint convergence, but a non-zero count means
         #: the analyser should be fixed.  Always 0 on the shipped designs.
         self.analysis_misses = 0
+        profiler = _obs_profile.active()
+        if profiler is not None:
+            profiler.record_sim(strategy)
         if strategy == COMPILED:
             from .compile import compile_design
 
@@ -125,8 +131,14 @@ class Simulator:
                     self._written.append(sig)
             for mem in self._memories:
                 mem._sched = self
-            self._program = compile_design(self._comb, self._seq,
-                                           max_settle=max_settle)
+            compile_start = time.perf_counter()
+            with _obs_tracing.span("compile", strategy=COMPILED,
+                                   design=type(top).__name__):
+                self._program = compile_design(self._comb, self._seq,
+                                               max_settle=max_settle)
+            if profiler is not None:
+                profiler.record_compile(time.perf_counter() - compile_start,
+                                        self._program.report)
             #: Generated Python source of the specialised settle/cycle pair.
             self.compiled_source = self._program.source
             #: :class:`~repro.rtl.compile.emit.CompileReport` for this design.
@@ -419,9 +431,24 @@ class Simulator:
         return self._settle_fixpoint()
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the design by ``cycles`` clock cycles."""
+        """Advance the design by ``cycles`` clock cycles.
+
+        The telemetry check up front is the *entire* disabled-path cost:
+        two module-attribute reads (``tests/obs/test_overhead.py`` pins
+        the disabled step loop to zero telemetry allocations, and the
+        ``compiled-obs-off`` floor in ``benchmarks/check_regression.py``
+        pins its throughput).  Only while a profiler or tracer is
+        installed does the slower instrumented loop run.
+        """
         if cycles < 0:
             raise SimulationError(f"cannot step a negative number of cycles: {cycles}")
+        if _obs_profile._ACTIVE is not None or _obs_tracing._STATE.active:
+            self._step_instrumented(cycles)
+            return
+        self._step_plain(cycles)
+
+    def _step_plain(self, cycles: int) -> None:
+        """The uninstrumented hot loops — one per settle strategy."""
         if self._strategy == COMPILED:
             cycle = self._program.cycle
             for _ in range(cycles):
@@ -452,6 +479,79 @@ class Simulator:
             for watcher in self._watchers:
                 watcher(self._cycles)
 
+    def _step_instrumented(self, cycles: int) -> None:
+        """Step with telemetry: batch-level span plus per-step profiling.
+
+        Spans stay *batch*-granular — one span per :meth:`step` call when
+        it advances more than one cycle, never one per cycle — so tracing
+        a million-cycle run records a handful of spans, not a million.
+        The profiled loops mirror the plain ones but keep the settle
+        delta-iteration counts the fast paths discard (for the compiled
+        strategy the generated ``cycle()`` is re-expressed in terms of
+        ``program.settle`` so its convergence rounds become visible).
+        """
+        profiler = _obs_profile.active()
+        if profiler is None:
+            if cycles > 1:
+                with _obs_tracing.span("step", strategy=self._strategy,
+                                       cycles=cycles):
+                    self._step_plain(cycles)
+            else:
+                self._step_plain(cycles)
+            return
+        tracer_on = _obs_tracing._STATE.active and cycles > 1
+        span = (_obs_tracing.span("step", strategy=self._strategy,
+                                  cycles=cycles, profiled=True)
+                if tracer_on else _obs_tracing.NULL_SPAN)
+        misses_before = self.analysis_misses
+        iterations = 0
+        with span:
+            start = time.perf_counter()
+            if self._strategy == COMPILED:
+                settle = self._program.settle
+                seq = self._seq
+                for _ in range(cycles):
+                    # Mirrors the generated cycle() (see emit_module), with
+                    # the settle return values captured instead of dropped.
+                    if not self._attached:
+                        self._check_attached()
+                    if self._dirty or self._written:
+                        iterations += settle(self)
+                    for proc in seq:
+                        proc()
+                    written = self._written
+                    for sig in written:
+                        sig._value = sig._next
+                    del written[:]
+                    iterations += settle(self)
+                    self._cycles += 1
+                    for watcher in self._watchers:
+                        watcher(self._cycles)
+            elif self._strategy == EVENT:
+                for _ in range(cycles):
+                    iterations += self._settle_event()
+                    for proc in self._seq:
+                        proc()
+                    self._flush_written()
+                    iterations += self._settle_event()
+                    self._cycles += 1
+                    for watcher in self._watchers:
+                        watcher(self._cycles)
+            else:
+                for _ in range(cycles):
+                    iterations += self._settle_fixpoint()
+                    for proc in self._seq:
+                        proc()
+                    self._commit_all()
+                    iterations += self._settle_fixpoint()
+                    self._cycles += 1
+                    for watcher in self._watchers:
+                        watcher(self._cycles)
+            elapsed = time.perf_counter() - start
+        profiler.record_step(self._strategy, cycles, elapsed,
+                             settle_iterations=iterations,
+                             fallback_hits=self.analysis_misses - misses_before)
+
     def run_until(self, condition: Callable[[], bool],
                   max_cycles: Optional[int] = None) -> int:
         """Step until ``condition()`` is true; return the cycles consumed.
@@ -459,6 +559,17 @@ class Simulator:
         Raises :class:`SimulationError` if the condition does not become true
         within the cycle budget — silent infinite simulations are always bugs.
         """
+        if _obs_tracing._STATE.active:
+            with _obs_tracing.span("settle", strategy=self._strategy,
+                                   kind="run_until",
+                                   design=type(self.top).__name__) as sp:
+                consumed = self._run_until(condition, max_cycles)
+                sp.args["cycles"] = consumed
+            return consumed
+        return self._run_until(condition, max_cycles)
+
+    def _run_until(self, condition: Callable[[], bool],
+                   max_cycles: Optional[int]) -> int:
         budget = self.max_cycles if max_cycles is None else max_cycles
         start = self._cycles
         while not condition():
@@ -470,6 +581,10 @@ class Simulator:
 
     def settle(self) -> int:
         """Expose a settle-only evaluation (useful after forcing signals)."""
+        if _obs_tracing._STATE.active:
+            with _obs_tracing.span("settle", strategy=self._strategy,
+                                   kind="settle"):
+                return self._settle()
         return self._settle()
 
     def reset(self) -> None:

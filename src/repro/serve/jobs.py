@@ -42,6 +42,8 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import tracing as _obs_tracing
+from ..obs.metrics import REGISTRY as _REGISTRY
 from .records import (
     exploration_config,
     exploration_key,
@@ -266,6 +268,9 @@ class SweepJob:
                 self.unique_keys.append(key)
         self.created_at = time.time()
         self.finished_at: Optional[float] = None
+        #: Wall seconds per completed shard attempt (dispatch -> reply),
+        #: feeding the ``timing`` block of :meth:`progress`.
+        self.shard_seconds: List[float] = []
         self.events: List[dict] = []
         self._lock = lock
         self._terminal = threading.Event()
@@ -306,8 +311,23 @@ class SweepJob:
                 "events": len(self.events),
                 "created_at": self.created_at,
                 "finished_at": self.finished_at,
+                "timing": self._timing(),
                 "config": self.config.to_dict(),
             }
+
+    def _timing(self) -> Dict[str, object]:
+        """Wall-clock stats: job elapsed plus per-shard duration spread."""
+        shards = self.shard_seconds
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return {
+            "elapsed_s": round(end - self.created_at, 6),
+            "shards": {
+                "count": len(shards),
+                "total_s": round(sum(shards), 6),
+                "mean_s": round(sum(shards) / len(shards), 6) if shards else 0.0,
+                "max_s": round(max(shards), 6) if shards else 0.0,
+            },
+        }
 
     def ordered_records(self) -> Dict[str, List[dict]]:
         """Records and failures in first-submission point order."""
@@ -428,8 +448,12 @@ class JobManager:
             self._jobs[job.id] = job
             job.emit("submitted", points=len(points),
                      unique=len(job.unique_keys))
+            _REGISTRY.inc("sweep_jobs_submitted")
+            _obs_tracing.add_event("job.submitted", job=job.id,
+                                   points=len(points))
             if plan.cached:
                 job.emit("cache_served", count=len(plan.cached))
+                _REGISTRY.inc("sweep_cache_served", len(plan.cached))
             shards = split_shards(
                 list(zip(plan.todo, plan.todo_keys)), self.shard_size)
             job.state = SHARDED
@@ -455,6 +479,11 @@ class JobManager:
     def jobs(self) -> List[SweepJob]:
         with self._lock:
             return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        """Shards waiting for a worker right now (``GET /healthz``)."""
+        with self._lock:
+            return len(self._pending)
 
     def worker_pids(self) -> List[int]:
         """Live worker PIDs (fault-injection tests kill these)."""
@@ -523,6 +552,10 @@ class JobManager:
             job.emit("shard_started", shard=shard.shard_id,
                      attempt=shard.attempts, worker=worker.id,
                      points=len(shard.keys))
+            _REGISTRY.inc("sweep_shards_dispatched")
+            _obs_tracing.add_event("shard.dispatched", job=job.id,
+                                   shard=shard.shard_id, worker=worker.id,
+                                   attempt=shard.attempts)
 
     # -- event pump --------------------------------------------------------
 
@@ -558,6 +591,7 @@ class JobManager:
     def _handle_message(self, worker: _Worker, message) -> None:
         kind, job_id, shard_id, payload = message
         shard = worker.current
+        elapsed = time.monotonic() - worker.assigned_at
         worker.current = None
         if (shard is None or shard.job_id != job_id
                 or shard.shard_id != shard_id or shard.state != "running"):
@@ -569,13 +603,21 @@ class JobManager:
                 job.results[key] = record
                 if self.store is not None:
                     self.store.put(key, record)
+            job.shard_seconds.append(elapsed)
+            _REGISTRY.observe("sweep_shard_seconds", elapsed)
             job.emit("shard_done", shard=shard.shard_id,
                      attempt=shard.attempts, points=len(payload))
+            _obs_tracing.add_event("shard.done", job=job_id,
+                                   shard=shard.shard_id,
+                                   seconds=round(elapsed, 6))
             self._maybe_finish(job)
         else:  # "error": the evaluation itself raised — deterministic, no retry
             shard.state = "failed"
             self._fail_shard_points(job, shard, str(payload))
             job.emit("shard_error", shard=shard.shard_id, error=str(payload))
+            _REGISTRY.inc("sweep_shard_errors")
+            _obs_tracing.add_event("shard.error", job=job_id,
+                                   shard=shard.shard_id)
             self._maybe_finish(job)
 
     def _reap_dead_workers(self) -> None:
@@ -610,16 +652,22 @@ class JobManager:
                 shard.state = "pending"
                 self._pending.appendleft(shard)
                 self.requeues += 1
+                _REGISTRY.inc("sweep_shard_requeues")
                 job.emit("shard_requeued", shard=shard.shard_id,
                          attempt=shard.attempts, reason=reason)
+                _obs_tracing.add_event("shard.requeued", job=job.id,
+                                       shard=shard.shard_id, reason=reason)
             else:
                 shard.state = "failed"
                 self._fail_shard_points(job, shard, reason)
                 job.emit("shard_failed", shard=shard.shard_id,
                          attempts=shard.attempts, reason=reason)
+                _obs_tracing.add_event("shard.failed", job=job.id,
+                                       shard=shard.shard_id, reason=reason)
                 self._maybe_finish(job)
         if not self._closed and len(self._workers) < self.n_workers:
             self._spawn_worker()
+            _REGISTRY.inc("sweep_worker_restarts")
 
     # -- completion --------------------------------------------------------
 
@@ -646,4 +694,5 @@ class JobManager:
                  cached=len(job.cached_keys),
                  simulated=len(job.results) - len(job.cached_keys),
                  failed=len(job.failures))
+        _obs_tracing.add_event("job.completed", job=job.id, state=job.state)
         job._terminal.set()

@@ -24,7 +24,12 @@ GET      ``/sweeps/<id>/results``    Result records + failures in point order.
 GET      ``/results/<key>``          One record straight from the store — a
                                      pure file read, no simulator is ever
                                      constructed on this path.
-GET      ``/healthz``                Liveness + store statistics.
+GET      ``/healthz``                Liveness + store statistics, process
+                                     counter snapshot and job-queue depth.
+GET      ``/metrics``                Prometheus text exposition of the
+                                     process-global telemetry registry
+                                     (``repro.obs.metrics``): counters,
+                                     gauges and histograms.
 =======  ==========================  ===========================================
 
 Construct a :class:`SweepServer` programmatically (tests do) or run
@@ -39,6 +44,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from ..obs.metrics import REGISTRY, render_prometheus
 from .jobs import JobManager, SweepConfig
 from .records import point_from_dict
 from .store import ResultStore, StoreError
@@ -159,7 +165,11 @@ class _Handler(BaseHTTPRequestHandler):
         owner = self.server.owner
         if route == ("healthz",):
             self._send_json({"ok": True, "store": owner.store.stats(),
-                             "jobs": len(owner.manager.jobs())})
+                             "jobs": len(owner.manager.jobs()),
+                             "queue_depth": owner.manager.queue_depth(),
+                             "counters": REGISTRY.counters()})
+        elif route == ("metrics",):
+            self._send_metrics(owner)
         elif route == ("sweeps",):
             self._send_json(
                 {"jobs": [job.progress() for job in owner.manager.jobs()]})
@@ -191,6 +201,26 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(job.progress(), status=202)
 
     # -- helpers -----------------------------------------------------------
+
+    def _send_metrics(self, owner: "SweepServer") -> None:
+        """Prometheus text exposition, with scrape-time service gauges.
+
+        Counters accumulate as the service works; the point-in-time facts
+        (store occupancy, queue depth, job count, uptime) are refreshed as
+        gauges on every scrape so the exposition is self-contained.
+        """
+        REGISTRY.set_gauge("store_entries", len(owner.store))
+        REGISTRY.set_gauge("sweep_queue_depth", owner.manager.queue_depth())
+        REGISTRY.set_gauge("sweep_jobs", len(owner.manager.jobs()))
+        REGISTRY.set_gauge("uptime_seconds",
+                           round(time.time() - owner._started, 3))
+        body = render_prometheus(REGISTRY).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _job(self, job_id: str):
         job = self.server.owner.manager.job(job_id)

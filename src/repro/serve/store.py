@@ -36,6 +36,9 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs import tracing as _obs_tracing
+from ..obs.metrics import REGISTRY as _REGISTRY
+
 #: Version of the record envelope/payload layout.  Bumping it invalidates
 #: every existing record: :meth:`ResultStore.get` treats a mismatched blob
 #: as a miss and deletes it, so a schema migration needs no tooling — the
@@ -105,11 +108,17 @@ class ResultStore:
         deleted; both count as misses — the caller's contract is simply
         "recompute on ``None``", never an exception for on-disk state.
         """
+        with _obs_tracing.span("store.get", key=key[:12]) as sp:
+            record = self._get(key)
+            sp.args["hit"] = record is not None
+        return record
+
+    def _get(self, key: str) -> Optional[dict]:
         path = self.path_for(key)
         try:
             text = path.read_text(encoding="utf-8")
         except (FileNotFoundError, NotADirectoryError):
-            self.misses += 1
+            self._miss()
             return None
         try:
             record = json.loads(text)
@@ -117,7 +126,7 @@ class ResultStore:
                 raise ValueError("record is not a JSON object")
         except (ValueError, UnicodeDecodeError):
             self._quarantine(path)
-            self.misses += 1
+            self._miss()
             return None
         if record.get("schema") != SCHEMA_VERSION or record.get("key") != key:
             # Stale schema or aliased key: silently invalid, cleanly removed.
@@ -126,14 +135,20 @@ class ResultStore:
             except OSError:
                 pass
             self.invalidated += 1
-            self.misses += 1
+            _REGISTRY.inc("store_invalidated")
+            self._miss()
             return None
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:
             pass
         self.hits += 1
+        _REGISTRY.inc("store_hits")
         return record
+
+    def _miss(self) -> None:
+        self.misses += 1
+        _REGISTRY.inc("store_misses")
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
@@ -155,6 +170,10 @@ class ResultStore:
         refusing mismatches here keeps a bug from planting records that
         :meth:`get` would immediately discard.
         """
+        with _obs_tracing.span("store.put", key=key[:12]):
+            self._put(key, record)
+
+    def _put(self, key: str, record: dict) -> None:
         path = self.path_for(key)
         if record.get("schema") != SCHEMA_VERSION:
             raise StoreError(
@@ -181,6 +200,7 @@ class ResultStore:
                 pass
             raise
         self.puts += 1
+        _REGISTRY.inc("store_puts")
         if self.max_entries is not None:
             self._evict_over_cap()
 
@@ -191,6 +211,7 @@ class ResultStore:
         except OSError:
             return False
         self.invalidated += 1
+        _REGISTRY.inc("store_invalidated")
         return True
 
     # -- maintenance -------------------------------------------------------
@@ -237,6 +258,7 @@ class ResultStore:
             except OSError:
                 continue
             self.evictions += 1
+            _REGISTRY.inc("store_evictions")
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt blob aside (never delete evidence)."""
@@ -249,6 +271,7 @@ class ResultStore:
         try:
             os.replace(path, target)
             self.quarantined += 1
+            _REGISTRY.inc("store_quarantined")
         except OSError:
             # Worst case (e.g. quarantine dir removed): drop the blob so
             # the next run is not poisoned by it either.

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs import profile as _obs_profile
 from .coverage import CoverageDB
 from .rng import SEED_ENV, default_seed
 from .session import TARGETS, verify, verify_matrix
@@ -49,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persistent result store; clean sessions are "
                              "replayed from it instead of re-simulating")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-strategy settle/compile wall-time "
+                             "breakdown after the matrix "
+                             "(docs/observability.md)")
     return parser
 
 
@@ -60,6 +65,17 @@ def main(argv=None) -> int:
             print(f"{name:<26} default_cycles={spec.default_cycles}")
         return 0
 
+    if args.profile:
+        profiler = _obs_profile.enable()
+        try:
+            return _run(args)
+        finally:
+            _obs_profile.disable()
+            print(profiler.report())
+    return _run(args)
+
+
+def _run(args) -> int:
     names = args.targets or list(TARGETS)
     unknown = [n for n in names if n not in TARGETS]
     if unknown:

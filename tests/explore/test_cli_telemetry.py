@@ -1,0 +1,71 @@
+"""``python -m repro.explore --trace/--profile`` end-to-end.
+
+The CLI owns telemetry lifecycle: it enables tracing/profiling before
+the sweep, always disables both afterwards, and writes the trace file
+even when the run raises.  These tests drive ``main()`` in-process.
+"""
+
+import pytest
+
+from repro.explore.__main__ import main as explore_main
+from repro.obs import export, profile, tracing
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_reset():
+    yield
+    tracing.disable()
+    tracing.drain()
+    profile.disable()
+
+
+def _run(tmp_path, *extra):
+    argv = ["--designs", "saa2vga", "--bindings", "fifo",
+            "--capacities", "16", "32", "--frames", "8x4",
+            "--store", str(tmp_path / "store"), *extra]
+    return explore_main(argv)
+
+
+def test_trace_flag_writes_validating_trace(tmp_path, capsys):
+    trace = tmp_path / "sweep.ndjson"
+    assert _run(tmp_path, "--trace", str(trace)) == 0
+    out = capsys.readouterr().out
+    assert f"written to {trace}" in out
+
+    records = export.read_trace(trace)
+    assert export.validate_chrome(export.to_chrome(records)) == []
+    names = {r["name"] for r in records}
+    assert "explore.sweep" in names
+    assert "explore.point" in names or "build" in names
+
+    # acceptance: >= 95% of sweep wall time lands in named child phases
+    root, fraction = export.attribution(records)
+    assert root["name"] == "explore.sweep"
+    assert fraction >= 0.95, f"only {fraction:.1%} attributed"
+
+    # the CLI turned tracing back off after the run
+    assert not tracing._STATE.active
+    assert tracing.records() == []
+
+
+def test_trace_flag_chrome_extension_writes_chrome_format(tmp_path):
+    trace = tmp_path / "sweep.json"
+    assert _run(tmp_path, "--trace", str(trace)) == 0
+    loaded = export.read_trace(trace)
+    assert loaded and all(r["ph"] in ("X", "i") for r in loaded)
+
+
+def test_profile_flag_prints_report(tmp_path, capsys):
+    assert _run(tmp_path, "--profile") == 0
+    out = capsys.readouterr().out
+    assert "settle profile" in out
+    assert "compiled" in out
+    assert profile.active() is None  # lifecycle: disabled after the run
+
+
+def test_without_flags_no_telemetry_artifacts(tmp_path, capsys):
+    assert _run(tmp_path) == 0
+    out = capsys.readouterr().out
+    assert "settle profile" not in out
+    assert "trace:" not in out
+    assert tracing.records() == []

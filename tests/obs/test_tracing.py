@@ -1,0 +1,141 @@
+"""Span recording: nesting, ring-buffer bounds, session hygiene."""
+
+import threading
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing():
+    """Every test starts and ends with tracing off and the buffer drained."""
+    tracing.disable()
+    tracing.drain()
+    yield
+    tracing.disable()
+    tracing.drain()
+
+
+def test_disabled_span_is_the_shared_null_singleton():
+    assert tracing.span("x") is tracing.NULL_SPAN
+    assert tracing.span("y", a=1) is tracing.NULL_SPAN
+    with tracing.span("z") as sp:
+        sp.event("nothing")  # no-ops, records nothing
+    assert tracing.records() == []
+
+
+def test_span_records_complete_event_with_duration():
+    tracing.enable()
+    with tracing.span("settle", strategy="compiled"):
+        pass
+    tracing.disable()
+    (record,) = tracing.records()
+    assert record["name"] == "settle"
+    assert record["ph"] == "X"
+    assert record["dur"] >= 0
+    assert record["ts"] >= 0
+    assert record["parent"] is None
+    assert record["args"] == {"strategy": "compiled"}
+
+
+def test_nesting_assigns_parent_ids():
+    tracing.enable()
+    with tracing.span("outer") as outer:
+        with tracing.span("inner"):
+            tracing.add_event("marker", shard=3)
+    tracing.disable()
+    by_name = {r["name"]: r for r in tracing.records()}
+    assert by_name["inner"]["parent"] == outer.span_id
+    assert by_name["outer"]["parent"] is None
+    assert by_name["marker"]["ph"] == "i"
+    assert by_name["marker"]["parent"] == by_name["inner"]["id"]
+    assert by_name["marker"]["args"] == {"shard": 3}
+
+
+def test_span_ids_are_unique_and_monotonic():
+    tracing.enable()
+    for _ in range(5):
+        with tracing.span("s"):
+            pass
+    tracing.disable()
+    ids = [r["id"] for r in tracing.records()]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_ring_buffer_caps_and_counts_drops():
+    tracing.enable(capacity=3)
+    for i in range(7):
+        with tracing.span(f"s{i}"):
+            pass
+    tracing.disable()
+    stats = tracing.stats()
+    assert stats["recorded"] == 3
+    assert stats["dropped"] == 4
+    assert stats["capacity"] == 3
+    # the *newest* records survive
+    assert [r["name"] for r in tracing.records()] == ["s4", "s5", "s6"]
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        tracing.enable(capacity=0)
+
+
+def test_drain_empties_buffer():
+    tracing.enable()
+    with tracing.span("once"):
+        pass
+    assert len(tracing.drain()) == 1
+    assert tracing.records() == []
+
+
+def test_stale_open_span_does_not_parent_into_next_session():
+    tracing.enable()
+    leaked = tracing.span("leaked")
+    leaked.__enter__()  # never exited: simulates an abandoned span
+    tracing.disable()
+    tracing.enable()
+    with tracing.span("fresh"):
+        pass
+    tracing.disable()
+    fresh = [r for r in tracing.records() if r["name"] == "fresh"]
+    assert fresh and fresh[0]["parent"] is None
+
+
+def test_threads_get_independent_stacks():
+    tracing.enable()
+    done = threading.Event()
+
+    def other():
+        with tracing.span("other-root"):
+            pass
+        done.set()
+
+    with tracing.span("main-root"):
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+    tracing.disable()
+    assert done.is_set()
+    by_name = {r["name"]: r for r in tracing.records()}
+    # the other thread's span is a root, NOT a child of main's open span
+    assert by_name["other-root"]["parent"] is None
+    assert by_name["other-root"]["tid"] != by_name["main-root"]["tid"]
+
+
+def test_event_helper_on_live_span():
+    tracing.enable()
+    with tracing.span("parent") as sp:
+        sp.event("tick", n=1)
+    tracing.disable()
+    by_name = {r["name"]: r for r in tracing.records()}
+    assert by_name["tick"]["parent"] == by_name["parent"]["id"]
+
+
+def test_null_span_accepts_late_arg_writes():
+    sp = tracing.span("whatever")
+    with sp:
+        sp.args["cycles"] = 12  # instrumented code paths do this
+    assert tracing.records() == []
