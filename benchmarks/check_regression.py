@@ -12,12 +12,21 @@ point of duplicating them is that the artifact, not just the test run, is
 the unit of record: a future change to how benchmarks execute cannot
 silently drop a guard without also touching this file.
 
+``--baseline PREV_BENCH.json`` additionally compares every shared
+``cycles_per_second`` measurement against a previous artifact and prints
+per-metric deltas — informational (the hard gate stays the floors; run-to-
+run noise on shared CI hardware would make deltas an unreliable gate), but
+it turns the BENCH_* artifact trail into a readable trajectory.
+``--summary PATH`` appends the comparison as GitHub-flavoured markdown
+(CI points it at ``$GITHUB_STEP_SUMMARY``).
+
 Exit status: 0 when every guarded ratio holds, 1 otherwise (or when an
 expected measurement is missing from the artifact).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
@@ -70,14 +79,83 @@ def check(payload: dict) -> list:
     return failures
 
 
+def compare(payload: dict, baseline: dict) -> list:
+    """Per-metric delta rows between two artifacts' ``cycles_per_second``.
+
+    Returns ``(design, strategy, baseline_cps, current_cps, delta_pct)``
+    tuples for every measurement present in both artifacts, sorted so the
+    output (and the markdown summary built from it) is deterministic.
+    """
+    rows = []
+    current = payload.get("cycles_per_second", {})
+    previous = baseline.get("cycles_per_second", {})
+    for design in sorted(set(current) & set(previous)):
+        for strategy in sorted(set(current[design]) & set(previous[design])):
+            now = current[design][strategy]
+            then = previous[design][strategy]
+            if not now or not then:
+                continue
+            rows.append((design, strategy, then, now,
+                         (now - then) / then * 100.0))
+    return rows
+
+
+def comparison_lines(rows: list, markdown: bool = False) -> list:
+    """Render :func:`compare` rows as plain text or a markdown table."""
+    if not rows:
+        return ["no overlapping cycles_per_second measurements to compare"]
+    if markdown:
+        lines = ["| design | strategy | baseline c/s | current c/s | delta |",
+                 "|---|---|---:|---:|---:|"]
+        for design, strategy, then, now, delta in rows:
+            lines.append(f"| {design} | {strategy} | {then:,.0f} | "
+                         f"{now:,.0f} | {delta:+.1f}% |")
+        return lines
+    return [f"{design}: {strategy} {then:,.0f} -> {now:,.0f} c/s "
+            f"({delta:+.1f}%)"
+            for design, strategy, then, now, delta in rows]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Enforce performance floors on a benchmark artifact; "
+                    "optionally diff it against a previous one.")
+    parser.add_argument("bench", help="benchmark JSON artifact to check")
+    parser.add_argument("--baseline", default=None, metavar="PREV_BENCH.json",
+                        help="previous artifact to report per-metric deltas "
+                             "against (informational; floors still gate)")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="append the baseline comparison as a markdown "
+                             "table to this file (CI: $GITHUB_STEP_SUMMARY)")
+    return parser
+
+
 def main(argv: list) -> int:
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} <bench.json>", file=sys.stderr)
-        return 1
-    with open(argv[1], "r", encoding="utf-8") as handle:
+    args = build_parser().parse_args(argv[1:])
+    with open(args.bench, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     print(f"benchmark profile: {payload.get('profile', 'unknown')}")
     failures = check(payload)
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"\nbaseline {args.baseline} unreadable ({exc}) — "
+                  "skipping comparison")
+            baseline = None
+        if baseline is not None:
+            rows = compare(payload, baseline)
+            print(f"\ndeltas vs baseline "
+                  f"(profile {baseline.get('profile', 'unknown')}):")
+            for line in comparison_lines(rows):
+                print(f"  {line}")
+            if args.summary:
+                with open(args.summary, "a", encoding="utf-8") as handle:
+                    handle.write("### Benchmark deltas vs previous run\n\n")
+                    for line in comparison_lines(rows, markdown=True):
+                        handle.write(line + "\n")
+                    handle.write("\n")
     if failures:
         print("\nperformance floors violated:", file=sys.stderr)
         for failure in failures:

@@ -238,11 +238,23 @@ def _run_remote(args, spec: dict) -> int:
         "verify_cycles": args.verify_cycles,
         "lanes": args.lanes,
     }
+    if args.trace is not None:
+        # Server mode: the merged distributed trace (manager + every
+        # worker's spans) is captured pool-side and fetched afterwards —
+        # much richer than anything this client process could record.
+        config["trace"] = True
     client = SweepClient(args.server)
     try:
         submitted = client.submit({"spec": spec, "config": config})
         status = client.wait(submitted["id"], timeout=args.timeout)
         payload = client.results(submitted["id"])
+        if args.trace is not None:
+            trace_records = client.trace(submitted["id"])
+            fmt = _obs_export.write_trace(trace_records, args.trace)
+            if not args.quiet:
+                print(f"trace: {len(trace_records)} merged record(s) from "
+                      f"{args.server} written to {args.trace} ({fmt})")
+            args._trace_handled = True
     except ServiceError as exc:
         print(f"sweep service error: {exc}", file=sys.stderr)
         return 3
@@ -263,9 +275,15 @@ def main(argv=None) -> int:
     try:
         return _run(args)
     finally:
-        if args.trace is not None:
+        if args.trace is not None and not getattr(args, "_trace_handled",
+                                                  False):
             _obs_tracing.disable()
+            # stats() survives drain(): read the overflow count first so
+            # the NDJSON header declares how truncated the trace is.
+            dropped = _obs_tracing.stats()["dropped"]
             trace_records = _obs_tracing.drain()
+            trace_records.insert(
+                0, _obs_export.meta_record(dropped_spans=dropped))
             fmt = _obs_export.write_trace(trace_records, args.trace)
             if not args.quiet:
                 print(f"trace: {len(trace_records)} record(s) written to "

@@ -1,6 +1,6 @@
 """Command-line entry: ``python -m repro.obs`` — trace-file tooling.
 
-Three subcommands over the trace files the ``--trace`` CLI flags (and the
+Four subcommands over the trace files the ``--trace`` CLI flags (and the
 :mod:`repro.obs.export` API) produce::
 
     python -m repro.obs summarize trace.ndjson
@@ -12,13 +12,21 @@ Three subcommands over the trace files the ``--trace`` CLI flags (and the
         is the lossless line format, anything else is Chrome
         trace-event JSON (load it at https://ui.perfetto.dev).
 
-    python -m repro.obs validate trace.json --min-attribution 95
+    python -m repro.obs validate trace.json --min-attribution 95 --strict
         Check the Chrome trace-event invariants (monotonic ``ts``,
-        complete ``X``/instant ``i`` events only, stable ``pid``) and,
-        optionally, that the span tree attributes at least the given
-        percentage of the root span's wall time to named child phases.
-        Exit status 1 on any violation — this is what the CI
-        observability smoke job gates on.
+        complete ``X``/instant ``i`` events only, stable ``pid`` — or
+        labeled per-process lanes for merged traces) and, optionally,
+        that the span tree attributes at least the given percentage of
+        the root span's wall time to named child phases.  Ring-buffer
+        truncation (a ``dropped_spans`` header > 0) warns by default and
+        fails under ``--strict``.  Exit status 1 on any violation —
+        this is what the CI observability smoke job gates on.
+
+    python -m repro.obs timeline trace.ndjson
+        Sweep-timeline analysis of a merged distributed trace
+        (``GET /sweeps/<id>/trace``): per-worker utilization,
+        queue-wait vs. evaluate-time breakdown, critical path and
+        straggler/retry attribution.
 
 Operator guide: ``docs/observability.md``.
 """
@@ -28,8 +36,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .distributed import timeline_report
 from .export import (
     attribution,
+    dropped_spans,
     read_trace,
     summarize,
     to_chrome,
@@ -61,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also require >= PCT%% of the root span's wall "
                           "time to be attributed to its child phases "
                           "(needs an NDJSON trace for tree structure)")
+    cmd.add_argument("--strict", action="store_true",
+                     help="fail (instead of warn) on truncated traces — "
+                          "ones whose dropped_spans header is non-zero")
+
+    cmd = sub.add_parser("timeline",
+                         help="per-worker utilization, queue-wait vs. "
+                              "evaluate breakdown, critical path and "
+                              "straggler attribution for a merged trace")
+    cmd.add_argument("trace", help="merged trace file (NDJSON preferred)")
     return parser
 
 
@@ -81,8 +100,20 @@ def main(argv=None) -> int:
         print(f"{len(records)} record(s) written to {args.output} ({fmt})")
         return 0
 
+    if args.command == "timeline":
+        print(timeline_report(records))
+        return 0
+
     # validate
     problems = validate_chrome(to_chrome(records))
+    dropped = dropped_spans(records)
+    if dropped:
+        message = (f"trace is truncated: {dropped} span(s) dropped "
+                   "(ring buffer wrapped — raise the tracing capacity)")
+        if args.strict:
+            problems.append(message)
+        else:
+            print(f"WARNING: {message}", file=sys.stderr)
     if args.min_attribution is not None:
         attributed = attribution(records)
         if attributed is None:

@@ -23,7 +23,41 @@ integrity tests (and the CI observability smoke job) pin: monotonic
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Name of the trace-level metadata header record (``ph == "M"``).
+TRACE_META = "trace.meta"
+#: Name of the per-process lane-label metadata record (Chrome convention).
+PROCESS_NAME = "process_name"
+
+
+def meta_record(record_name: str = TRACE_META, pid: Optional[int] = None,
+                **args) -> dict:
+    """A metadata record (``ph == "M"``) in the raw-record schema.
+
+    Metadata records carry trace-level facts that are not spans: the
+    ``trace.meta`` header holds truncation accounting
+    (``dropped_spans``) and distributed-merge provenance, and
+    ``process_name`` records label the per-worker process lanes of a
+    merged trace (the Chrome/Perfetto convention, which also licenses a
+    multi-pid trace past :func:`validate_chrome` — the lane label rides
+    in ``args["name"]``, hence the ``record_name`` parameter spelling).
+    """
+    return {"name": record_name, "ph": "M", "ts": 0,
+            "pid": os.getpid() if pid is None else pid, "tid": 0,
+            "id": None, "parent": None, "args": args}
+
+
+def dropped_spans(records: Sequence[dict]) -> int:
+    """Total ``dropped_spans`` declared by the trace's metadata headers."""
+    total = 0
+    for record in records:
+        if record.get("ph") == "M" and record.get("name") == TRACE_META:
+            value = (record.get("args") or {}).get("dropped_spans", 0)
+            if isinstance(value, (int, float)):
+                total += int(value)
+    return total
 
 
 # ---------------------------------------------------------------------------
@@ -62,8 +96,9 @@ def to_chrome(records: Sequence[dict]) -> dict:
         }
         if record["ph"] == "X":
             event["dur"] = record["dur"] / 1000.0
-        else:
+        elif record["ph"] == "i":
             event["s"] = "t"                     # thread-scoped instant
+        # "M" metadata events carry only name/pid/args
         events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
@@ -126,7 +161,14 @@ def read_trace(path) -> List[dict]:
 # ---------------------------------------------------------------------------
 
 def validate_chrome(payload: dict) -> List[str]:
-    """Structural problems in a Chrome trace payload (empty == valid)."""
+    """Structural problems in a Chrome trace payload (empty == valid).
+
+    A single-process trace must use one stable pid.  A *merged* trace
+    (worker spans folded into one sweep-wide timeline) legitimately
+    spans several pids — but then every pid must be labeled by a
+    ``process_name`` metadata event, so an unlabeled pid mixture is
+    still flagged as corruption rather than silently accepted.
+    """
     problems: List[str] = []
     events = payload.get("traceEvents")
     if not isinstance(events, list):
@@ -135,9 +177,16 @@ def validate_chrome(payload: dict) -> List[str]:
         problems.append("trace contains zero events")
     last_ts = None
     pids = set()
+    labeled_pids = set()
     for i, event in enumerate(events):
         where = f"event[{i}] ({event.get('name')!r})"
         ph = event.get("ph")
+        if ph == "M":
+            if "name" not in event or "pid" not in event:
+                problems.append(f"{where}: metadata event without name/pid")
+            elif event["name"] == PROCESS_NAME:
+                labeled_pids.add(event["pid"])
+            continue
         if ph not in ("X", "i"):
             problems.append(f"{where}: phase {ph!r} is not a complete 'X' "
                             "or instant 'i' event")
@@ -154,8 +203,12 @@ def validate_chrome(payload: dict) -> List[str]:
                                 "(events must be sorted)")
             last_ts = ts
         pids.add(event.get("pid"))
-    if len(pids) > 1:
-        problems.append(f"unstable pid set: {sorted(map(str, pids))}")
+    if len(pids) > 1 and not pids <= labeled_pids:
+        unlabeled = pids - labeled_pids
+        problems.append(
+            f"unstable pid set: {sorted(map(str, pids))} "
+            f"(pids {sorted(map(str, unlabeled))} carry no process_name "
+            "metadata — merged traces must label every process lane)")
     return problems
 
 
@@ -206,6 +259,14 @@ def summarize(records: Sequence[dict]) -> str:
     spans = [r for r in records if r.get("ph") == "X"]
     events = [r for r in records if r.get("ph") == "i"]
     lines = [f"{len(spans)} span(s), {len(events)} instant event(s)"]
+    pids = sorted({r.get("pid") for r in spans + events}, key=str)
+    if len(pids) > 1:
+        lines.append(f"merged trace across {len(pids)} process(es): "
+                     f"{', '.join(map(str, pids))}")
+    dropped = dropped_spans(records)
+    if dropped:
+        lines.append(f"WARNING: {dropped} span(s) dropped "
+                     "(ring buffer wrapped — the trace is truncated)")
     totals = phase_totals(records)
     if totals:
         width = max(len(name) for name in totals)

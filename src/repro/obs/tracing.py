@@ -83,6 +83,28 @@ def disable() -> None:
     _STATE.active = False
 
 
+def reset() -> None:
+    """Hard-reset every piece of tracing state to the never-enabled form.
+
+    A forked worker process inherits the parent's ring buffer, active
+    flag, id counter and per-thread span stacks wholesale; replaying (or
+    double-exporting) any of that would corrupt the merged sweep trace.
+    :func:`repro.obs.distributed.reset_worker_telemetry` calls this at
+    worker startup so a worker-side tracing session always starts from a
+    clean slate with local span ids counting from 1.
+    """
+    with _STATE.lock:
+        _STATE.active = False
+        _STATE.buffer = deque()
+        _STATE.capacity = 0
+        _STATE.dropped = 0
+        _STATE.t0 = 0
+        _STATE.ids = itertools.count(1)
+        # Bumping the session invalidates every thread's cached span
+        # stack (see _stack), including stacks copied in by fork.
+        _STATE.session += 1
+
+
 def stats() -> Dict[str, int]:
     """Buffer occupancy and overflow accounting."""
     return {"recorded": len(_STATE.buffer), "dropped": _STATE.dropped,

@@ -97,6 +97,34 @@ class SweepClient:
         """One stored record by key (``GET /results/<key>``)."""
         return self._request(f"/results/{key}")
 
+    def trace(self, job_id: str) -> List[dict]:
+        """The sweep's merged distributed trace as raw records.
+
+        ``GET /sweeps/<id>/trace`` — only jobs submitted with config
+        ``{"trace": true}`` have one (404/:class:`ServiceError`
+        otherwise).  Write the records with
+        :func:`repro.obs.export.write_trace` to get the same NDJSON the
+        server serves, byte for byte.
+        """
+        url = f"{self.base_url}/sweeps/{job_id}/trace"
+        request = urllib.request.Request(url)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return [json.loads(line) for line in
+                        response.read().decode("utf-8").splitlines() if line]
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise ServiceError(
+                f"{url}: HTTP {exc.code}" + (f" — {detail}" if detail else ""),
+                status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{url}: {exc.reason}") from None
+
     def events(self, job_id: str, since: int = 0,
                follow: bool = False) -> Iterator[dict]:
         """Yield the job's event log as parsed NDJSON lines.

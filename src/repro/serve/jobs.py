@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import distributed as _distributed
 from ..obs import tracing as _obs_tracing
 from ..obs.metrics import REGISTRY as _REGISTRY
 from .records import (
@@ -80,6 +81,11 @@ class SweepConfig:
     verify_seed: int = 0
     verify_cycles: int = 1500
     lanes: int = 16
+    #: Capture a merged distributed trace for this sweep.  Off by default
+    #: so untraced jobs never enable worker-side tracing (the zero-overhead
+    #: contract extends across the pool).  Deliberately *not* part of the
+    #: cache key: tracing observes a sweep, it does not change its results.
+    trace: bool = False
 
     def cache_strategy(self) -> str:
         from ..explore.runner import resolve_strategy
@@ -105,6 +111,7 @@ class SweepConfig:
             "verify_seed": self.verify_seed,
             "verify_cycles": self.verify_cycles,
             "lanes": self.lanes,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -219,7 +226,20 @@ def _worker_main(conn, worker_id: int) -> None:
     Each worker owns one end of a private duplex pipe — no shared queues,
     so an abrupt death (the fault the manager must survive) cannot leave a
     lock or a half-written buffer behind for the survivors.
+
+    Telemetry rides the same pipe: every reply is a 5-tuple whose last
+    element is the worker's telemetry payload — always the counter deltas
+    since its previous reply (what makes ``GET /metrics`` pool-wide), and
+    additionally the shard's span buffer and settle-profile rows when the
+    dispatch carried a trace context.  A killed worker ships nothing,
+    which is exactly how a lost shard's telemetry stays lost instead of
+    corrupted.
     """
+    # Under the fork start method this process begins life with the
+    # parent's metric counters, tracing ring buffer and profiler state —
+    # scrub all of it before the first shard or pool-wide aggregation
+    # would double-count everything the manager already recorded.
+    _distributed.reset_worker_telemetry()
     while True:
         try:
             task = conn.recv()
@@ -227,14 +247,15 @@ def _worker_main(conn, worker_id: int) -> None:
             return
         if task is None:
             return
-        job_id, shard_id, point_dicts, config_dict = task
+        job_id, shard_id, point_dicts, config_dict, context_dict = task
+        capture = _distributed.ShardCapture.begin(context_dict)
         try:
             records = evaluate_shard(point_dicts, config_dict)
-            conn.send(("done", job_id, shard_id, records))
+            conn.send(("done", job_id, shard_id, records, capture.finish()))
         except Exception:
             try:
                 conn.send(("error", job_id, shard_id,
-                           traceback.format_exc(limit=20)))
+                           traceback.format_exc(limit=20), capture.finish()))
             except (OSError, ValueError):
                 return
 
@@ -272,6 +293,11 @@ class SweepJob:
         #: feeding the ``timing`` block of :meth:`progress`.
         self.shard_seconds: List[float] = []
         self.events: List[dict] = []
+        #: Merged sweep-wide trace (``config.trace`` jobs only).
+        self.trace: Optional[_distributed.JobTrace] = \
+            _distributed.JobTrace(job_id) if config.trace else None
+        #: Pool-wide settle-profile rows folded from worker replies.
+        self.profile: Dict[str, Dict[str, float]] = {}
         self._lock = lock
         self._terminal = threading.Event()
 
@@ -313,7 +339,20 @@ class SweepJob:
                 "finished_at": self.finished_at,
                 "timing": self._timing(),
                 "config": self.config.to_dict(),
+                "telemetry": self._telemetry(),
             }
+
+    def _telemetry(self) -> Dict[str, object]:
+        """Distributed-telemetry status for the progress payload."""
+        if self.trace is None:
+            return {"traced": False}
+        return {
+            "traced": True,
+            "spans": len(self.trace),
+            "dropped_spans": self.trace.dropped,
+            "worker_pids": sorted(self.trace.worker_pids),
+            "lost_shards": self.trace.lost_shards,
+        }
 
     def _timing(self) -> Dict[str, object]:
         """Wall-clock stats: job elapsed plus per-shard duration spread."""
@@ -338,6 +377,18 @@ class SweepJob:
                         if key in self.failures]
             return {"records": records, "failures": failures}
 
+    def trace_records(self) -> Optional[List[dict]]:
+        """The merged trace in raw-record form, or ``None`` if untraced.
+
+        Safe to call while the job is still running — the export is a
+        snapshot (the root ``sweep`` span only appears once the job
+        reaches a terminal state).
+        """
+        with self._lock:
+            if self.trace is None:
+                return None
+            return self.trace.export_records()
+
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches ``done``/``failed``."""
         return self._terminal.wait(timeout)
@@ -347,7 +398,7 @@ class _Shard:
     """Dispatch bookkeeping for one shard of one job."""
 
     __slots__ = ("job_id", "shard_id", "point_dicts", "keys", "state",
-                 "attempts")
+                 "attempts", "trace_span", "dispatched_ns")
 
     def __init__(self, job_id: str, shard_id: int,
                  point_dicts: List[dict], keys: List[str]) -> None:
@@ -357,6 +408,11 @@ class _Shard:
         self.keys = keys
         self.state = "pending"
         self.attempts = 0
+        #: Manager-side span id for the current attempt (traced jobs):
+        #: allocated at dispatch, shipped to the worker as the parent of
+        #: its ``worker.shard`` span, recorded when the reply arrives.
+        self.trace_span: Optional[int] = None
+        self.dispatched_ns = 0
 
 
 class _Worker:
@@ -454,6 +510,11 @@ class JobManager:
             if plan.cached:
                 job.emit("cache_served", count=len(plan.cached))
                 _REGISTRY.inc("sweep_cache_served", len(plan.cached))
+                if job.trace is not None:
+                    job.trace.add_instant("cache_served",
+                                          job.trace.now_ns(),
+                                          parent=job.trace.root_id,
+                                          count=len(plan.cached))
             shards = split_shards(
                 list(zip(plan.todo, plan.todo_keys)), self.shard_size)
             job.state = SHARDED
@@ -542,10 +603,18 @@ class JobManager:
             shard.state = "running"
             worker.current = shard
             worker.assigned_at = time.monotonic()
+            context_dict = None
+            if job.trace is not None:
+                # Allocate this attempt's manager-side span id *now* so
+                # the worker's spans can name their parent before the
+                # span record itself exists (it is written on reply).
+                shard.trace_span = job.trace.next_id()
+                shard.dispatched_ns = job.trace.now_ns()
+                context_dict = job.trace.context(shard.trace_span).to_dict()
             try:
                 worker.conn.send((shard.job_id, shard.shard_id,
                                   shard.point_dicts,
-                                  job.config.to_dict()))
+                                  job.config.to_dict(), context_dict))
             except (OSError, ValueError):
                 self._worker_died(worker, "pipe closed on dispatch")
                 continue
@@ -589,7 +658,7 @@ class JobManager:
                 self._dispatch()
 
     def _handle_message(self, worker: _Worker, message) -> None:
-        kind, job_id, shard_id, payload = message
+        kind, job_id, shard_id, payload, telemetry = message
         shard = worker.current
         elapsed = time.monotonic() - worker.assigned_at
         worker.current = None
@@ -597,6 +666,7 @@ class JobManager:
                 or shard.shard_id != shard_id or shard.state != "running"):
             return  # stale reply from a shard already re-dispatched
         job = self._jobs[job_id]
+        self._fold_telemetry(job, shard, telemetry or {})
         if kind == "done":
             shard.state = "done"
             for key, record in payload:
@@ -619,6 +689,29 @@ class JobManager:
             _obs_tracing.add_event("shard.error", job=job_id,
                                    shard=shard.shard_id)
             self._maybe_finish(job)
+
+    def _fold_telemetry(self, job: SweepJob, shard: _Shard,
+                        telemetry: Dict[str, object]) -> None:
+        """Fold one shard reply's telemetry into manager-side state.
+
+        Counter deltas always fold (``GET /metrics`` stays pool-wide even
+        for untraced jobs); span/profile payloads only exist — and only
+        merge — when the job is traced.  Stale replies never reach here,
+        so a re-dispatched shard's telemetry is counted exactly once.
+        """
+        _distributed.fold_counter_deltas(telemetry.get("counters"))
+        if job.trace is None or shard.trace_span is None:
+            return
+        summary = job.trace.merge_worker(telemetry, shard.trace_span)
+        job.trace.add_span(
+            "shard", shard.dispatched_ns, job.trace.now_ns(),
+            parent=job.trace.root_id, span_id=shard.trace_span,
+            shard=shard.shard_id, attempt=shard.attempts,
+            worker_pid=telemetry.get("pid"), points=len(shard.keys))
+        _distributed.merge_profile(job.profile, telemetry.get("profile"))
+        job.emit("span", name="shard", shard=shard.shard_id,
+                 attempt=shard.attempts, worker_pid=telemetry.get("pid"),
+                 spans=summary["spans"], dropped=summary["dropped"])
 
     def _reap_dead_workers(self) -> None:
         for worker in list(self._workers.values()):
@@ -648,6 +741,17 @@ class JobManager:
         shard = worker.current
         if shard is not None and shard.state == "running":
             job = self._jobs[shard.job_id]
+            if job.trace is not None and shard.trace_span is not None:
+                # The attempt's telemetry died with the worker — record
+                # the manager-side span flagged "lost" (never a hole),
+                # and surrender the span id: a retry gets a fresh one.
+                job.trace.mark_lost(shard.shard_id, shard.trace_span,
+                                    shard.dispatched_ns, shard.attempts,
+                                    reason)
+                job.emit("span", name="shard", shard=shard.shard_id,
+                         attempt=shard.attempts, telemetry="lost",
+                         reason=reason)
+                shard.trace_span = None
             if shard.attempts <= self.max_retries:
                 shard.state = "pending"
                 self._pending.appendleft(shard)
@@ -690,6 +794,10 @@ class JobManager:
             return
         job.state = FAILED if job.failures else DONE
         job.finished_at = time.time()
+        if job.trace is not None:
+            job.trace.finish(state=job.state,
+                             cached=len(job.cached_keys),
+                             failed=len(job.failures))
         job.emit("completed", state=job.state,
                  cached=len(job.cached_keys),
                  simulated=len(job.results) - len(job.cached_keys),

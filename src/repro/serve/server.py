@@ -21,6 +21,13 @@ GET      ``/sweeps/<id>/events``     The job's event log as NDJSON; with
                                      ``?follow=1`` the response streams until
                                      the job reaches a terminal state.
 GET      ``/sweeps/<id>/results``    Result records + failures in point order.
+GET      ``/sweeps/<id>/trace``      The merged distributed trace as NDJSON
+                                     (jobs submitted with config
+                                     ``{"trace": true}``): manager spans plus
+                                     every worker's spans, re-parented and
+                                     remapped onto one sweep-wide timeline.
+                                     Feed it to ``python -m repro.obs
+                                     timeline`` / ``summarize``.
 GET      ``/results/<key>``          One record straight from the store — a
                                      pure file read, no simulator is ever
                                      constructed on this path.
@@ -182,6 +189,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(payload)
         elif len(route) == 3 and route[0] == "sweeps" and route[2] == "events":
             self._stream_events(self._job(route[1]))
+        elif len(route) == 3 and route[0] == "sweeps" and route[2] == "trace":
+            self._send_trace(self._job(route[1]))
         elif len(route) == 2 and route[0] == "results":
             try:
                 record = owner.store.get(route[1])
@@ -227,6 +236,21 @@ class _Handler(BaseHTTPRequestHandler):
         if job is None:
             raise ApiError(404, f"unknown sweep {job_id!r}")
         return job
+
+    def _send_trace(self, job) -> None:
+        """The merged distributed trace as NDJSON (traced jobs only)."""
+        records = job.trace_records()
+        if records is None:
+            raise ApiError(
+                404, f"sweep {job.id!r} was not traced — submit with "
+                     "config {'trace': true} to capture a distributed trace")
+        body = "".join(json.dumps(record, sort_keys=True) + "\n"
+                       for record in records).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _stream_events(self, job) -> None:
         """NDJSON event stream; ``?follow=1`` tails until the job ends."""

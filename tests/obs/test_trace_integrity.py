@@ -140,3 +140,44 @@ def test_cli_corrupt_json_is_error(tmp_path, capsys):
     path.write_text("{definitely not json\n", encoding="utf-8")
     assert obs_main(["validate", str(path)]) == 2
     assert "cannot read trace" in capsys.readouterr().err
+
+
+def truncated_trace(tmp_path, records):
+    """An NDJSON trace whose header declares ring-buffer truncation."""
+    path = tmp_path / "truncated.ndjson"
+    export.write_ndjson(
+        [export.meta_record(dropped_spans=12)] + records, path)
+    return path
+
+
+def test_cli_validate_warns_on_truncated_trace(records, tmp_path, capsys):
+    path = truncated_trace(tmp_path, records)
+    assert obs_main(["validate", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "is valid" in captured.out
+    assert "truncated" in captured.err and "12 span(s) dropped" in captured.err
+
+
+def test_cli_validate_strict_fails_on_truncated_trace(records, tmp_path,
+                                                      capsys):
+    path = truncated_trace(tmp_path, records)
+    assert obs_main(["validate", str(path), "--strict"]) == 1
+    assert "truncated" in capsys.readouterr().err
+
+
+def test_cli_validate_strict_passes_untruncated(records, tmp_path, capsys):
+    path = tmp_path / "clean.ndjson"
+    export.write_ndjson([export.meta_record(dropped_spans=0)] + records, path)
+    assert obs_main(["validate", str(path), "--strict"]) == 0
+    assert "is valid" in capsys.readouterr().out
+
+
+def test_cli_timeline_on_in_process_trace(records, tmp_path, capsys):
+    # timeline degrades gracefully on a single-process trace: the header
+    # and critical path render even without worker.shard/shard spans.
+    path = tmp_path / "trace.ndjson"
+    export.write_ndjson(records, path)
+    assert obs_main(["timeline", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "timeline:" in out
+    assert "critical path" in out

@@ -1,0 +1,84 @@
+"""benchmarks/check_regression.py: floors still gate, --baseline compares.
+
+The compare mode is informational by design (shared CI hardware makes
+run-to-run deltas too noisy to gate on), but its output is part of the
+BENCH_* artifact trajectory, so its shape — and the fact that it never
+changes the exit status — is pinned here.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+spec = importlib.util.spec_from_file_location(
+    "check_regression",
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+    / "check_regression.py")
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def artifact(scale=1.0):
+    """A payload satisfying every floor, throughput scaled by ``scale``."""
+    cps = {}
+    for design, fast, slow, floor in check_regression.FLOORS:
+        measurements = cps.setdefault(design, {})
+        measurements.setdefault(slow, 1_000_000.0 * scale)
+        # 2x headroom over the floor so scale tweaks cannot trip gates
+        measurements[fast] = measurements[slow] * floor * 2
+    return {"profile": "test", "cycles_per_second": cps}
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+def test_floors_pass_and_fail(tmp_path, capsys):
+    good = write(tmp_path, "good.json", artifact())
+    assert check_regression.main(["check", good]) == 0
+    assert "all performance floors hold" in capsys.readouterr().out
+
+    bad_payload = artifact()
+    design, fast, slow, floor = check_regression.FLOORS[0]
+    bad_payload["cycles_per_second"][design][fast] = \
+        bad_payload["cycles_per_second"][design][slow] * floor * 0.5
+    bad = write(tmp_path, "bad.json", bad_payload)
+    assert check_regression.main(["check", bad]) == 1
+    assert "floors violated" in capsys.readouterr().err
+
+
+def test_compare_reports_per_metric_deltas():
+    rows = check_regression.compare(artifact(1.1), artifact(1.0))
+    assert rows, "identical metric sets must all be compared"
+    for _design, _strategy, then, now, delta in rows:
+        assert abs(delta - 10.0) < 1e-6
+        assert now > then
+    # disjoint artifacts compare to nothing, not an error
+    assert check_regression.compare(artifact(), {"cycles_per_second": {}}) \
+        == []
+
+
+def test_baseline_mode_is_informational_and_writes_summary(tmp_path, capsys):
+    current = write(tmp_path, "current.json", artifact(0.5))  # 50% slower
+    baseline = write(tmp_path, "baseline.json", artifact(1.0))
+    summary = tmp_path / "summary.md"
+    # Heavy regression vs baseline, but floors hold -> still exit 0.
+    assert check_regression.main(
+        ["check", current, "--baseline", baseline,
+         "--summary", str(summary)]) == 0
+    out = capsys.readouterr().out
+    assert "deltas vs baseline" in out
+    assert "-50.0%" in out
+    text = summary.read_text()
+    assert "Benchmark deltas vs previous run" in text
+    assert "| design | strategy |" in text
+    assert "-50.0%" in text
+
+
+def test_unreadable_baseline_is_skipped_not_fatal(tmp_path, capsys):
+    current = write(tmp_path, "current.json", artifact())
+    assert check_regression.main(
+        ["check", current, "--baseline", str(tmp_path / "missing.json")]) == 0
+    assert "skipping comparison" in capsys.readouterr().out
