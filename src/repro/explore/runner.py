@@ -462,6 +462,33 @@ class ExplorationRunner:
                     self._store_put(point, result)
         return [cache[self._memo_key(point)] for point in points]
 
+    def run_search(self, budget: int, seed: int = 0,
+                   designs: Sequence[str] = ("saa2vga", "blur"),
+                   bindings: Optional[Sequence[str]] = None,
+                   pixel_formats: Sequence[str] = ("gray8",),
+                   frame_sizes: Sequence[Tuple[int, int]] = ((8, 8),
+                                                             (16, 12)),
+                   capacities: Sequence[int] = (4, 8, 16),
+                   epsilon: float = 0.2):
+        """Budgeted Pareto search over design axes, alongside grid sweeps.
+
+        Instead of enumerating a full grid, a mutation/crossover proposer
+        (under an epsilon-greedy operator bandit) spends ``budget``
+        evaluations chasing the (throughput ↑, synth area ↓) frontier;
+        every proposal goes through this runner's :meth:`run`, so the
+        memo and the persistent store are shared with ordinary sweeps —
+        repeat proposals cost zero simulations.  Returns the
+        :class:`repro.search.FrontierReport` (lazy import: the search
+        package sits above this one).
+        """
+        from ..search.driver import design_search
+
+        return design_search(budget, seed=seed, runner=self,
+                             designs=designs, bindings=bindings,
+                             pixel_formats=pixel_formats,
+                             frame_sizes=frame_sizes, capacities=capacities,
+                             epsilon=epsilon)
+
     def _run_pool(self, points: Sequence) -> List[ExplorationResult]:
         import multiprocessing
 

@@ -1,0 +1,108 @@
+"""Deterministic epsilon-greedy bandits for the search driver.
+
+One :class:`EpsilonGreedy` instance allocates the simulation budget across
+*arms* — covergroup targets in the coverage search, proposal operators in
+the seed/design proposers.  Determinism is a hard requirement (the byte-
+identical-trajectory regression test pins it), so every stochastic choice
+draws from an injected :class:`random.Random` and every tie breaks by a
+total order, never by dict/hash iteration order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class BanditError(ValueError):
+    """Raised for empty arm sets or updates to unknown arms."""
+
+
+class EpsilonGreedy:
+    """Epsilon-greedy arm selection over observed mean rewards.
+
+    Parameters
+    ----------
+    arms:
+        The arm names.  Order does not matter — ties always break by the
+        sorted name, so two bandits built from differently-ordered arm
+        lists behave identically.
+    epsilon:
+        Probability of exploring (choosing uniformly among the available
+        arms) instead of exploiting the best observed mean.
+    rng:
+        The random stream every exploration draw comes from.  Inject a
+        :meth:`repro.verify.RngPool.stream` so one root seed reproduces
+        the whole search; defaults to ``Random(0)``.
+    explore_untried:
+        When True (default), any available arm that has never been pulled
+        is selected before exploit/explore kicks in — each arm gets one
+        fair trial.  The proposal-operator bandits turn this off and seed
+        a ``prior`` instead, so the exotic operators (mutate/crossover)
+        must *earn* budget through epsilon exploration rather than being
+        handed a free simulation each.
+    prior:
+        Optional ``{arm: (pulls, total_reward)}`` pseudo-counts folded
+        into the observed statistics (optimistic initialisation).
+    """
+
+    def __init__(self, arms: Iterable[str], epsilon: float = 0.1,
+                 rng: Optional[random.Random] = None,
+                 explore_untried: bool = True,
+                 prior: Optional[Dict[str, tuple]] = None) -> None:
+        self.arms: List[str] = sorted(set(arms))
+        if not self.arms:
+            raise BanditError("a bandit needs at least one arm")
+        if not 0.0 <= epsilon <= 1.0:
+            raise BanditError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self.explore_untried = explore_untried
+        self._rng = rng if rng is not None else random.Random(0)
+        self.pulls: Dict[str, int] = {arm: 0 for arm in self.arms}
+        self.rewards: Dict[str, float] = {arm: 0.0 for arm in self.arms}
+        for arm, (pulls, reward) in (prior or {}).items():
+            if arm not in self.pulls:
+                raise BanditError(f"prior for unknown arm {arm!r}")
+            self.pulls[arm] = int(pulls)
+            self.rewards[arm] = float(reward)
+
+    def mean(self, arm: str) -> float:
+        """Observed mean reward of one arm (0.0 before any pull)."""
+        if arm not in self.pulls:
+            raise BanditError(f"unknown arm {arm!r}")
+        pulls = self.pulls[arm]
+        return self.rewards[arm] / pulls if pulls else 0.0
+
+    def select(self, available: Optional[Sequence[str]] = None) -> str:
+        """Choose one arm among ``available`` (default: all arms)."""
+        arms = sorted(set(available)) if available is not None else self.arms
+        unknown = [arm for arm in arms if arm not in self.pulls]
+        if unknown:
+            raise BanditError(f"unknown arm(s) {unknown}")
+        if not arms:
+            raise BanditError("no arms available to select from")
+        if len(arms) == 1:
+            return arms[0]
+        if self.explore_untried:
+            untried = [arm for arm in arms if not self.pulls[arm]]
+            if untried:
+                return untried[0]  # arms are sorted: deterministic
+        if self._rng.random() < self.epsilon:
+            return arms[self._rng.randrange(len(arms))]
+        # max() keeps the first maximal element of a sorted list, so ties
+        # deterministically break toward the lexicographically-smallest arm.
+        return max(arms, key=self.mean)
+
+    def update(self, arm: str, reward: float) -> None:
+        """Record one pull's reward."""
+        if arm not in self.pulls:
+            raise BanditError(f"unknown arm {arm!r}")
+        self.pulls[arm] += 1
+        self.rewards[arm] += float(reward)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-arm statistics for reports: pulls, reward sum, mean."""
+        return {arm: {"pulls": self.pulls[arm],
+                      "reward": round(self.rewards[arm], 6),
+                      "mean": round(self.mean(arm), 6)}
+                for arm in self.arms}

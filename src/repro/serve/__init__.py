@@ -35,7 +35,14 @@ See ``docs/exploration.md`` for the operator's guide.
 """
 
 from .client import ServiceError, SweepClient
-from .jobs import JobManager, SweepConfig, SweepJob, diff_points, split_shards
+from .jobs import (
+    JobManager,
+    SearchJob,
+    SweepConfig,
+    SweepJob,
+    diff_points,
+    split_shards,
+)
 from .records import (
     UnstorablePointError,
     exploration_key,
@@ -55,6 +62,7 @@ __all__ = [
     "JobManager",
     "SweepConfig",
     "SweepJob",
+    "SearchJob",
     "diff_points",
     "split_shards",
     "SweepServer",

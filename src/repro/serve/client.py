@@ -83,6 +83,18 @@ class SweepClient:
         """``POST /sweeps``; body carries ``spec``/``points``/``config``."""
         return self._request("/sweeps", payload=body)
 
+    def submit_search(self, body: dict) -> dict:
+        """``POST /search``; body carries ``targets`` (+ budget knobs)
+        and/or a ``frontier`` axes dict.  Progress, events and the final
+        report are then served by the ``/sweeps/<id>/...`` routes —
+        :meth:`status`, :meth:`events`, :meth:`results`, :meth:`wait`
+        work on search jobs unchanged."""
+        return self._request("/search", payload=body)
+
+    def searches(self) -> List[dict]:
+        """Status payloads of search jobs only (``GET /search``)."""
+        return self._request("/search")["jobs"]
+
     def sweeps(self) -> List[dict]:
         return self._request("/sweeps")["jobs"]
 

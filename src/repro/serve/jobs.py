@@ -394,6 +394,166 @@ class SweepJob:
         return self._terminal.wait(timeout)
 
 
+class SearchJob:
+    """One coverage-directed search job (``POST /search``).
+
+    Duck-types the :class:`SweepJob` surface the HTTP layer reads —
+    ``progress()``, ``events_since()``, ``ordered_records()``, ``wait()``,
+    ``done``, ``state``, ``trace_records()`` — so search jobs register in
+    the same manager table and stream through the existing
+    ``/sweeps/<id>/events?follow=1`` protocol unchanged.  The search
+    itself is feedback-driven and sequential, so it runs on one manager-
+    side thread (fresh seeds within a round still share a lockstep
+    simulation); the manager's store backs its session memo, making
+    repeat proposals free across jobs and processes.
+    """
+
+    def __init__(self, job_id: str, config, frontier_spec: Optional[dict],
+                 store: Optional[ResultStore],
+                 lock: threading.RLock) -> None:
+        self.id = job_id
+        self.config = config
+        self.frontier_spec = frontier_spec
+        self.store = store
+        self.state = SUBMITTED
+        self.created_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.events: List[dict] = []
+        #: Final ``repro-search-v1`` report dict (set at completion).
+        self.report: Optional[dict] = None
+        #: Final ``repro-frontier-v1`` dict (set when a frontier ran).
+        self.frontier: Optional[dict] = None
+        self.error: Optional[str] = None
+        self._sessions = 0
+        self._coverage: Dict[str, float] = {}
+        self._frontier_size = 0
+        self._lock = lock
+        self._terminal = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"search-job-{job_id}")
+
+    def start(self) -> "SearchJob":
+        self._thread.start()
+        return self
+
+    # -- the SweepJob surface ----------------------------------------------
+
+    def emit(self, event: str, **data) -> None:
+        entry = {"seq": len(self.events), "event": event,
+                 "time": time.time(), **data}
+        self.events.append(entry)
+
+    def events_since(self, index: int) -> List[dict]:
+        with self._lock:
+            return list(self.events[index:])
+
+    @property
+    def done(self) -> bool:
+        return self.state in _TERMINAL
+
+    def progress(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "id": self.id,
+                "kind": "search",
+                "state": self.state,
+                "targets": (list(self.config.targets)
+                            if self.config is not None else []),
+                "budget": (self.config.budget
+                           if self.config is not None else 0),
+                "sessions": self._sessions,
+                "coverage": {t: round(pct, 4)
+                             for t, pct in self._coverage.items()},
+                "frontier_size": self._frontier_size,
+                "events": len(self.events),
+                "error": self.error,
+                "created_at": self.created_at,
+                "finished_at": self.finished_at,
+            }
+
+    def ordered_records(self) -> Dict[str, object]:
+        """The results payload: final report + frontier artifacts."""
+        with self._lock:
+            return {
+                "records": [],
+                "failures": ([{"error": self.error}] if self.error else []),
+                "report": self.report,
+                "frontier": self.frontier,
+            }
+
+    def trace_records(self) -> Optional[List[dict]]:
+        return None  # search jobs are untraced; the route 404s
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._terminal.wait(timeout)
+
+    # -- execution ---------------------------------------------------------
+
+    def _on_round(self, entry: dict) -> None:
+        with self._lock:
+            self._sessions = entry.get("sessions", self._sessions)
+            if "target" in entry:
+                self._coverage[entry["target"]] = entry.get("coverage", 0.0)
+            self.emit("search_round", **entry)
+
+    def _on_frontier_round(self, entry: dict) -> None:
+        with self._lock:
+            self._frontier_size = entry.get("frontier_size",
+                                            self._frontier_size)
+            self.emit("frontier_round", **entry)
+
+    def _run(self) -> None:
+        from ..search.driver import CoverageSearch, design_search
+
+        try:
+            with self._lock:
+                self.state = RUNNING
+                self.emit("running")
+            report = None
+            if self.config is not None:
+                search = CoverageSearch(self.config, store=self.store,
+                                        on_round=self._on_round)
+                report = search.run()
+                with self._lock:
+                    self.report = report.to_dict()
+                    self._coverage = dict(report.coverage)
+                    self._sessions = report.sessions
+            if self.frontier_spec is not None:
+                spec = dict(self.frontier_spec)
+                frontier = design_search(
+                    budget=int(spec.pop("budget", 8)),
+                    seed=int(spec.pop("seed", 0)),
+                    store=self.store,
+                    designs=spec.pop("designs", ("saa2vga", "blur")),
+                    bindings=spec.pop("bindings", None),
+                    pixel_formats=spec.pop("formats", ("gray8",)),
+                    frame_sizes=[tuple(size) for size in
+                                 spec.pop("frames", [[8, 8], [16, 12]])],
+                    capacities=spec.pop("capacities", (4, 8, 16)),
+                    epsilon=float(spec.pop("epsilon", 0.2)),
+                    on_round=self._on_frontier_round)
+                with self._lock:
+                    self.frontier = frontier.to_dict()
+            with self._lock:
+                failed = report is not None and not report.ok
+                self.state = FAILED if failed else DONE
+                self.finished_at = time.time()
+                self.emit("completed", state=self.state,
+                          sessions=self._sessions,
+                          closed=(report.closed if report is not None
+                                  else None),
+                          frontier_size=self._frontier_size)
+                _REGISTRY.inc("search_jobs_completed")
+        except Exception:
+            with self._lock:
+                self.error = traceback.format_exc(limit=20)
+                self.state = FAILED
+                self.finished_at = time.time()
+                self.emit("completed", state=self.state, error=self.error)
+        finally:
+            self._terminal.set()
+
+
 class _Shard:
     """Dispatch bookkeeping for one shard of one job."""
 
@@ -532,6 +692,68 @@ class JobManager:
             else:
                 self._finalize(job)
         return job
+
+    def submit_search(self, body: Dict[str, object]) -> SearchJob:
+        """Register a coverage-directed search job (``POST /search``).
+
+        ``body`` carries ``targets`` (list of registered verification
+        target names) plus the optional knobs of
+        :class:`repro.search.SearchConfig` (``budget``, ``cycles``,
+        ``seed``, ``strategy``, ``batch``, ``epsilon``,
+        ``min_coverage``), and/or a ``frontier`` dict (``budget``,
+        ``seed``, ``designs``, ``bindings``, ``formats``, ``frames``,
+        ``capacities``, ``epsilon``) for the design-axes Pareto search.
+        Validation errors raise :class:`ValueError` before any thread
+        starts, so the HTTP layer can 400 them.
+        """
+        from ..search.driver import SearchConfig
+
+        known = {"targets", "budget", "cycles", "seed", "strategy",
+                 "batch", "epsilon", "min_coverage", "frontier"}
+        unknown = set(body) - known
+        if unknown:
+            raise ValueError(f"unknown search keys: {sorted(unknown)}")
+        targets = body.get("targets") or []
+        if not isinstance(targets, (list, tuple)):
+            raise ValueError("'targets' must be a list of target names")
+        frontier_spec = body.get("frontier")
+        if frontier_spec is not None:
+            if not isinstance(frontier_spec, dict):
+                raise ValueError("'frontier' must be a JSON object")
+            frontier_known = {"budget", "seed", "designs", "bindings",
+                              "formats", "frames", "capacities", "epsilon"}
+            frontier_unknown = set(frontier_spec) - frontier_known
+            if frontier_unknown:
+                raise ValueError(
+                    f"unknown frontier keys: {sorted(frontier_unknown)}")
+        if not targets and frontier_spec is None:
+            raise ValueError("a search job needs 'targets' and/or "
+                             "'frontier'")
+        config = None
+        if targets:
+            config = SearchConfig(
+                targets=tuple(str(t) for t in targets),
+                budget=int(body.get("budget", 32)),
+                cycles=(None if body.get("cycles") is None
+                        else int(body["cycles"])),
+                seed=int(body.get("seed", 0)),
+                strategy=str(body.get("strategy", "compiled-batched")),
+                batch=int(body.get("batch", 1)),
+                epsilon=float(body.get("epsilon", 0.1)),
+                min_coverage=float(body.get("min_coverage", 100.0)))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobManager is closed")
+            job = SearchJob(f"search-{next(self._ids):06d}", config,
+                            frontier_spec, self.store, self._lock)
+            self._jobs[job.id] = job
+            job.emit("submitted",
+                     targets=list(config.targets) if config else [],
+                     budget=config.budget if config else 0,
+                     frontier=frontier_spec is not None)
+            _REGISTRY.inc("search_jobs_submitted")
+            _obs_tracing.add_event("search.submitted", job=job.id)
+        return job.start()
 
     def job(self, job_id: str) -> Optional[SweepJob]:
         with self._lock:

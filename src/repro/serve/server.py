@@ -28,6 +28,15 @@ GET      ``/sweeps/<id>/trace``      The merged distributed trace as NDJSON
                                      remapped onto one sweep-wide timeline.
                                      Feed it to ``python -m repro.obs
                                      timeline`` / ``summarize``.
+POST     ``/search``                 Submit a coverage-directed search job
+                                     (:mod:`repro.search`); body carries
+                                     ``"targets"`` plus optional budget/seed
+                                     knobs and/or a ``"frontier"`` axes dict.
+                                     Returns 202; progress, the NDJSON event
+                                     stream (one event per search round) and
+                                     the final report/frontier artifacts ride
+                                     the ``/sweeps/<id>/...`` routes above.
+GET      ``/search``                 Status payloads of search jobs only.
 GET      ``/results/<key>``          One record straight from the store — a
                                      pure file read, no simulator is ever
                                      constructed on this path.
@@ -177,9 +186,14 @@ class _Handler(BaseHTTPRequestHandler):
                              "counters": REGISTRY.counters()})
         elif route == ("metrics",):
             self._send_metrics(owner)
-        elif route == ("sweeps",):
+        elif route in (("sweeps",), ("search",)):
+            # Each listing filters to its own kind; the per-job
+            # /sweeps/<id>/... routes still serve both kinds.
+            progresses = [job.progress() for job in owner.manager.jobs()]
+            want_search = route == ("search",)
             self._send_json(
-                {"jobs": [job.progress() for job in owner.manager.jobs()]})
+                {"jobs": [p for p in progresses
+                          if (p.get("kind") == "search") == want_search]})
         elif len(route) == 2 and route[0] == "sweeps":
             self._send_json(self._job(route[1]).progress())
         elif len(route) == 3 and route[0] == "sweeps" and route[2] == "results":
@@ -203,11 +217,21 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(404, f"unknown path {self.path!r}")
 
     def _post(self, route: Tuple[str, ...]) -> None:
-        if route != ("sweeps",):
+        if route == ("sweeps",):
+            points, config = _expand_submission(self._read_body())
+            job = self.server.owner.manager.submit(points, config)
+            self._send_json(job.progress(), status=202)
+        elif route == ("search",):
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise ApiError(400, "request body must be a JSON object")
+            try:
+                job = self.server.owner.manager.submit_search(body)
+            except ValueError as exc:
+                raise ApiError(400, f"bad search request: {exc}") from None
+            self._send_json(job.progress(), status=202)
+        else:
             raise ApiError(404, f"unknown path {self.path!r}")
-        points, config = _expand_submission(self._read_body())
-        job = self.server.owner.manager.submit(points, config)
-        self._send_json(job.progress(), status=202)
 
     # -- helpers -----------------------------------------------------------
 

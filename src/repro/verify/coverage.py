@@ -265,6 +265,57 @@ class CoverageDB:
             for key, hits in cdata.get("hits", {}).items():
                 dst_cross["hits"][key] = dst_cross["hits"].get(key, 0) + hits
 
+    def add_delta(self, group: Union[CoverGroup, dict]) -> List[str]:
+        """Merge one group and return the goal names it *newly* closed.
+
+        The returned names use the same dotted spelling as :meth:`unhit`
+        (sorted), so a caller can reward marginal bin/cross closure —
+        the fitness signal of coverage-directed search — without diffing
+        whole databases.  Goals that were already hit contribute nothing;
+        an empty list means the merge moved no goal from open to closed.
+        """
+        data = group.to_dict() if isinstance(group, CoverGroup) else group
+        name = data["name"]
+        before = self._hit_goals(name)
+        self.add(data)
+        return sorted(self._hit_goals(name) - before)
+
+    def _hit_goals(self, name: str) -> set:
+        """Dotted names of every *hit* goal of one group (empty if absent)."""
+        data = self._groups.get(name)
+        if data is None:
+            return set()
+        hit = set()
+        for pname, bins in data.get("points", {}).items():
+            hit.update(f"{name}.{pname}.{b}"
+                       for b, hits in bins.items() if hits)
+        for cname, cdata in data.get("crosses", {}).items():
+            hit.update(f"{name}.{cname}.{key.replace('|', 'x')}"
+                       for key, hits in cdata["hits"].items() if hits)
+        return hit
+
+    def open_goals(self, name: Optional[str] = None) -> List[str]:
+        """Unhit goal names, optionally restricted to one group.
+
+        A group the database has never seen has no *declared* goals here —
+        callers treating "never sampled" as "everything open" (the search
+        driver does) must check :attr:`groups` membership themselves.
+        """
+        if name is None:
+            return self.unhit()
+        data = self._groups.get(name)
+        if data is None:
+            return []
+        missing: List[str] = []
+        for pname, bins in sorted(data.get("points", {}).items()):
+            missing.extend(f"{name}.{pname}.{b}"
+                           for b, hits in sorted(bins.items()) if not hits)
+        for cname, cdata in sorted(data.get("crosses", {}).items()):
+            missing.extend(
+                f"{name}.{cname}.{key.replace('|', 'x')}"
+                for key, hits in sorted(cdata["hits"].items()) if not hits)
+        return missing
+
     def merge(self, other: "CoverageDB") -> None:
         for data in other._groups.values():
             self.add(data)

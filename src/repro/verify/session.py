@@ -769,6 +769,27 @@ def verify_matrix(target: Union[str, Component], seeds: Sequence[int],
     return results
 
 
+def verify_gains(target: Union[str, Component], seeds: Sequence[int],
+                 db: CoverageDB, cycles: Optional[int] = None,
+                 strategy: str = COMPILED_BATCHED,
+                 strict: bool = False) -> tuple:
+    """Run a seed matrix and fold its coverage into ``db``, seed by seed.
+
+    Returns ``(results, gains)`` where ``gains[i]`` is the sorted list of
+    goal names seed ``seeds[i]`` *newly* closed in ``db``
+    (:meth:`CoverageDB.add_delta`).  Merge order is seed order, so when two
+    seeds both hit a previously-open goal the earlier one takes the credit
+    — exactly the marginal-closure reward the coverage-directed search
+    driver (:mod:`repro.search`) optimises.  Under the default
+    ``compiled-batched`` strategy the whole matrix still runs as one
+    lockstep session.
+    """
+    results = verify_matrix(target, seeds, cycles=cycles, strategy=strategy,
+                            strict=strict)
+    gains = [db.add_delta(result.coverage) for result in results]
+    return results, gains
+
+
 def verify_all(targets: Optional[Sequence[str]] = None,
                seeds: Sequence[int] = (0,), cycles: Optional[int] = None,
                strategy: str = EVENT) -> tuple:

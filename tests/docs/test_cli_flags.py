@@ -1,9 +1,10 @@
-"""Every public CLI flag must be documented in the operator's guide.
+"""Every public CLI flag must be documented in its operator's guide.
 
 The parsers are the source of truth: any flag added to ``repro.explore``,
 ``repro.verify`` or ``repro.serve`` without a matching mention in
-``docs/exploration.md`` fails here, so the guide can never silently lag
-the tools it documents.
+``docs/exploration.md`` — or to ``repro.search`` without one in
+``docs/search.md`` — fails here, so the guides can never silently lag
+the tools they document.
 """
 
 from pathlib import Path
@@ -11,11 +12,21 @@ from pathlib import Path
 import pytest
 
 from repro.explore.__main__ import build_parser as explore_parser
+from repro.search.__main__ import build_parser as search_parser
 from repro.serve.__main__ import build_parser as serve_parser
 from repro.verify.__main__ import build_parser as verify_parser
 
-GUIDE = (Path(__file__).resolve().parents[2] / "docs" /
-         "exploration.md").read_text()
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+#: CLI name -> (parser, the guide that must mention every flag).
+SURFACES = {
+    "explore": (explore_parser(), "exploration.md"),
+    "verify": (verify_parser(), "exploration.md"),
+    "serve": (serve_parser(), "exploration.md"),
+    "search": (search_parser(), "search.md"),
+}
+GUIDES = {name: (DOCS / guide).read_text()
+          for name, (_, guide) in SURFACES.items()}
 
 
 def public_flags(parser):
@@ -27,33 +38,30 @@ def public_flags(parser):
     return sorted(flags)
 
 
-PARSERS = {
-    "explore": explore_parser(),
-    "verify": verify_parser(),
-    "serve": serve_parser(),
-}
-CASES = [(name, flag) for name, parser in PARSERS.items()
+CASES = [(name, flag) for name, (parser, _) in SURFACES.items()
          for flag in public_flags(parser)]
 
 
 def test_the_parsers_expose_the_expected_surfaces():
-    assert "--store" in public_flags(PARSERS["explore"])
-    assert "--server" in public_flags(PARSERS["explore"])
-    assert "--store" in public_flags(PARSERS["verify"])
-    assert "--shard-timeout" in public_flags(PARSERS["serve"])
-    assert len(CASES) >= 30, "the three CLIs together expose 30+ flags"
+    assert "--store" in public_flags(SURFACES["explore"][0])
+    assert "--server" in public_flags(SURFACES["explore"][0])
+    assert "--store" in public_flags(SURFACES["verify"][0])
+    assert "--shard-timeout" in public_flags(SURFACES["serve"][0])
+    assert "--compare-grid" in public_flags(SURFACES["search"][0])
+    assert "--json-frontier" in public_flags(SURFACES["search"][0])
+    assert len(CASES) >= 50, "the four CLIs together expose 50+ flags"
 
 
 @pytest.mark.parametrize("cli, flag", CASES,
                          ids=[f"{cli}:{flag}" for cli, flag in CASES])
 def test_flag_is_documented(cli, flag):
-    assert f"`{flag}" in GUIDE, \
-        f"{cli}'s {flag} is missing from docs/exploration.md"
+    assert f"`{flag}" in GUIDES[cli], \
+        f"{cli}'s {flag} is missing from docs/{SURFACES[cli][1]}"
 
 
 def test_epilogs_point_at_the_guide():
-    for name, parser in PARSERS.items():
+    for name, (parser, guide) in SURFACES.items():
         if name == "serve":
             continue  # serve's --help is the service surface itself
-        assert "docs/exploration.md" in (parser.epilog or ""), \
-            f"{name} --help must point operators at the guide"
+        assert f"docs/{guide}" in (parser.epilog or ""), \
+            f"{name} --help must point operators at docs/{guide}"

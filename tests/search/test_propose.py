@@ -1,0 +1,182 @@
+"""Seed and design-point proposers: operators, fallbacks, determinism."""
+
+import random
+
+import pytest
+
+from repro.explore.grid import DesignPoint, expand_grid
+from repro.search.propose import DesignProposer, SeedProposer
+
+
+# -- SeedProposer ----------------------------------------------------------
+
+def test_scan_enumerates_untried_integers_in_order():
+    proposer = SeedProposer("queue/fifo", random.Random(0), epsilon=0.0)
+    assert [seed for seed, _ in proposer.propose_batch(4)] == [0, 1, 2, 3]
+
+
+def test_proposals_are_never_repeated():
+    proposer = SeedProposer("queue/fifo", random.Random(3), epsilon=1.0)
+    for seed, op in proposer.propose_batch(6):
+        proposer.update(seed, op, gain=1)
+    seeds = proposer.proposed
+    assert len(seeds) == len(set(seeds)) == 6
+
+
+def test_mutate_and_cross_need_gaining_parents():
+    proposer = SeedProposer("queue/fifo", random.Random(0))
+    assert proposer.available_ops() == ["scan"]
+    proposer.update(5, "scan", gain=2)
+    assert proposer.available_ops() == ["scan", "mutate"]
+    proposer.update(9, "scan", gain=1)
+    assert proposer.available_ops() == ["scan", "mutate", "cross"]
+    # Zero-gain seeds never become parents.
+    proposer.update(7, "scan", gain=0)
+    assert 7 not in proposer._gaining()
+    # Best gain first; the XOR mutation perturbs that parent.
+    assert proposer._gaining()[0] == 5
+
+
+def test_epsilon_zero_sticks_to_scan():
+    """With the scan prior and no exploration, mutate/cross never get a
+    free simulation — the property that keeps the fewer-evals win."""
+    proposer = SeedProposer("queue/fifo", random.Random(0), epsilon=0.0)
+    for _ in range(6):
+        seed, op = proposer.propose()
+        assert op == "scan"
+        proposer.update(seed, op, gain=1)
+
+
+def test_duplicate_from_operator_falls_back_to_scan():
+    proposer = SeedProposer("queue/fifo", random.Random(0), epsilon=0.0)
+    # Force the mutate path directly: make its output collide.
+    proposer.update(0, "scan", gain=3)
+    proposer._proposed_set.update(range(0, 256))
+    proposer.proposed.extend(range(0, 256))
+    mutated = proposer._mutate()
+    assert mutated in proposer._proposed_set  # parent ^ [1..255] < 256
+    seed, op = proposer.propose()
+    assert op == "scan" and seed == 256
+
+
+def test_same_rng_seed_reproduces_the_trajectory():
+    def run():
+        proposer = SeedProposer("queue/fifo", random.Random(42), epsilon=0.5)
+        out = []
+        for _ in range(8):
+            seed, op = proposer.propose()
+            proposer.update(seed, op, gain=seed % 3)
+            out.append((seed, op))
+        return out
+    assert run() == run()
+
+
+# -- DesignProposer --------------------------------------------------------
+
+def make_design_proposer(seed=0, epsilon=0.0, **kwargs):
+    return DesignProposer(random.Random(seed), epsilon=epsilon, **kwargs)
+
+
+def test_scan_walks_the_expand_grid_order():
+    proposer = make_design_proposer()
+    expected = expand_grid(designs=("saa2vga", "blur"),
+                           pixel_formats=("gray8",),
+                           frame_sizes=((8, 8), (16, 12)),
+                           capacities=(4, 8, 16))
+    walked = []
+    while True:
+        proposal = proposer.propose()
+        if proposal is None:
+            break
+        walked.append(proposal[0])
+    assert walked == expected
+    assert proposer.propose() is None  # stays exhausted
+
+
+def test_mutate_changes_exactly_one_axis_neighbourhood():
+    proposer = make_design_proposer(seed=1)
+    point, op = proposer.propose()
+    proposer.update(point, op, accepted=True)
+    child = proposer._mutate()
+    assert child is not None and child.key() != point.key()
+    diffs = sum((
+        child.design != point.design,
+        child.binding != point.binding,
+        child.pixel_format != point.pixel_format,
+        (child.frame_width, child.frame_height)
+        != (point.frame_width, point.frame_height),
+        child.capacity != point.capacity,
+    ))
+    # One axis re-drawn — except a design change, which may legitimately
+    # drag binding/format along to the new family's supported sets.
+    assert diffs == 1 or child.design != point.design
+
+
+def test_cross_recombines_two_distinct_parents():
+    proposer = make_design_proposer(seed=2)
+    a = DesignPoint("saa2vga", "fifo", "gray8", 8, 8, 4)
+    b = DesignPoint("saa2vga", "sram", "gray8", 16, 12, 16)
+    proposer.update(a, "scan", accepted=True)
+    proposer.update(b, "scan", accepted=True)
+    # A draw may pick the same parent twice (-> None); retry like
+    # propose() does, bounded by MAX_ATTEMPTS.
+    child = next(filter(None, (proposer._cross()
+                               for _ in range(proposer.MAX_ATTEMPTS))), None)
+    assert child is not None
+    assert child.design == "saa2vga"
+    assert child.binding in ("fifo", "sram")
+    assert (child.frame_width, child.frame_height) in ((8, 8), (16, 12))
+    assert child.capacity in (4, 16)
+
+
+def test_cross_needs_two_distinct_parents():
+    proposer = make_design_proposer()
+    assert proposer._cross() is None
+    point = DesignPoint("saa2vga", "fifo", "gray8", 8, 8, 4)
+    proposer.update(point, "scan", accepted=True)
+    proposer.update(point, "scan", accepted=True)  # same key twice
+    assert proposer._cross() is None
+
+
+def test_proposals_are_valid_and_unique():
+    proposer = make_design_proposer(seed=5, epsilon=1.0)
+    seen = set()
+    while True:
+        proposal = proposer.propose()
+        if proposal is None:
+            break
+        point, op = proposal
+        assert point.key() not in seen
+        seen.add(point.key())
+        proposer.update(point, op, accepted=bool(len(seen) % 2))
+    # Exactly the reachable grid, regardless of operator detours.
+    assert len(seen) == len(expand_grid(designs=("saa2vga", "blur"),
+                                        pixel_formats=("gray8",),
+                                        frame_sizes=((8, 8), (16, 12)),
+                                        capacities=(4, 8, 16)))
+
+
+def test_restricted_bindings_are_respected():
+    proposer = make_design_proposer(designs=("saa2vga",),
+                                    bindings=("fifo",))
+    while True:
+        proposal = proposer.propose()
+        if proposal is None:
+            break
+        assert proposal[0].binding == "fifo"
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_design_trajectory_is_deterministic(seed):
+    def run():
+        proposer = make_design_proposer(seed=seed, epsilon=0.5)
+        labels = []
+        for accept in (True, False, True, True, False, True):
+            proposal = proposer.propose()
+            if proposal is None:
+                break
+            point, op = proposal
+            proposer.update(point, op, accepted=accept)
+            labels.append((point.label(), op))
+        return labels
+    assert run() == run()

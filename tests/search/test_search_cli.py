@@ -1,0 +1,94 @@
+"""``python -m repro.search`` CLI: exit codes, artifacts, --compare-grid."""
+
+import json
+
+import pytest
+
+from repro.search.__main__ import build_parser, main
+
+ACCEPTANCE = ["queue/fifo", "queue/sram", "--cycles", "120",
+              "--budget", "20", "--min-coverage", "100"]
+
+
+def test_list_names_registered_targets(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "queue/fifo" in out and "default_cycles" in out
+
+
+def test_no_targets_and_no_frontier_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_unknown_target_exits_2(capsys):
+    assert main(["no/such/target"]) == 2
+    assert "no/such/target" in capsys.readouterr().err
+
+
+def test_acceptance_run_closes_and_beats_the_grid(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    coverage_path = tmp_path / "coverage.json"
+    status = main(ACCEPTANCE + ["--compare-grid",
+                                "--json", str(report_path),
+                                "--json-coverage", str(coverage_path)])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "closed=yes" in out
+    assert "grid baseline: 12 session(s)" in out and "search used 8" in out
+
+    report = json.loads(report_path.read_text())
+    assert report["format"] == "repro-search-v1"
+    assert report["closed"] is True and report["sessions"] == 8
+
+    coverage = json.loads(coverage_path.read_text())
+    assert coverage["format"] == "repro-coverage-v1"
+    assert set(coverage["groups"]) == {"queue/fifo", "queue/sram"}
+
+
+def test_budget_too_small_exits_1_and_names_unhit_goals(capsys):
+    status = main(["queue/sram", "--cycles", "120", "--budget", "2"])
+    assert status == 1
+    err = capsys.readouterr().err
+    assert "FAILED" in err and "unhit:" in err
+
+
+def test_state_dir_round_trips_warm_coverage(tmp_path, capsys):
+    state = tmp_path / "state"
+    assert main(["queue/fifo", "--cycles", "120", "--budget", "4",
+                 "--state", str(state), "--quiet"]) == 0
+    saved = json.loads((state / "coverage.json").read_text())
+    assert "queue/fifo" in saved["groups"]
+    # Second run resumes from closure: zero sessions spent.
+    assert main(["queue/fifo", "--cycles", "120", "--budget", "4",
+                 "--state", str(state)]) == 0
+    assert "search: 0 session(s)" in capsys.readouterr().out
+
+
+def test_frontier_mode_writes_the_artifact(tmp_path, capsys):
+    frontier_path = tmp_path / "frontier.json"
+    status = main(["--frontier-budget", "3", "--designs", "saa2vga",
+                   "--capacities", "4", "8", "--quiet",
+                   "--json-frontier", str(frontier_path)])
+    assert status == 0
+    frontier = json.loads(frontier_path.read_text())
+    assert frontier["format"] == "repro-frontier-v1"
+    assert frontier["evaluations"] == 3
+    assert frontier["frontier"]                  # something non-dominated
+
+
+def test_bad_frame_spec_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["--frontier", "--frontier-budget", "1", "--frames", "wide"])
+
+
+def test_parser_exposes_the_documented_flags():
+    text = build_parser().format_help()
+    for flag in ("--budget", "--cycles", "--seed", "--strategy", "--batch",
+                 "--epsilon", "--min-coverage", "--compare-grid",
+                 "--frontier", "--frontier-budget", "--designs",
+                 "--bindings", "--formats", "--frames", "--capacities",
+                 "--store", "--state", "--json", "--json-coverage",
+                 "--json-frontier", "--quiet", "--trace", "--profile"):
+        assert flag in text, flag

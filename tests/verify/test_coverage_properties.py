@@ -1,0 +1,203 @@
+"""Property-based tests for :class:`CoverageDB` merging.
+
+The search driver treats the merged coverage database as persistent
+fitness state, so the merge operation must behave like a commutative
+monoid over hit-count vectors: the order sessions land in (parallel
+workers, re-runs, warm-state reloads) must never change the closure
+picture.  Rather than hand-pick cases, a seeded generator fabricates
+random serialized covergroups (the exact dict form
+``CoverGroup.to_dict`` emits and :class:`ResultStore` records carry)
+and every law is checked over many draws — failures print the
+generator seed so a shrink is one ``Random(seed)`` away.
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro.verify.coverage import CoverageDB
+
+TRIALS = 25
+
+
+# -- seeded generator ------------------------------------------------------
+
+def group_structure(name):
+    """Deterministic per-name shape: bins and declared cross combos.
+
+    Structure is a pure function of the group name (derived via a
+    name-seeded ``Random``) so every generated sample of ``name`` merges
+    cleanly, exactly like repeated sessions of one registered target.
+    """
+    rng = random.Random(f"structure:{name}")
+    points = {f"p{i}": [f"b{j}" for j in range(rng.randint(1, 4))]
+              for i in range(rng.randint(1, 3))}
+    crosses = {}
+    pnames = sorted(points)
+    if len(pnames) >= 2 and rng.random() < 0.75:
+        left, right = pnames[0], pnames[1]
+        combos = [f"{a}|{b}" for a in points[left] for b in points[right]
+                  if rng.random() < 0.5]
+        if combos:
+            crosses["x0"] = {"points": [left, right], "hits": combos}
+    return points, crosses
+
+
+def sample_group(rng, name):
+    """One serialized covergroup with random hit counts (zeros allowed)."""
+    points, crosses = group_structure(name)
+    data = {
+        "name": name,
+        "samples": rng.randint(0, 9),
+        "points": {p: {b: rng.randint(0, 3) for b in bins}
+                   for p, bins in points.items()},
+        "crosses": {c: {"points": cdata["points"],
+                        "hits": {k: rng.randint(0, 2)
+                                 for k in cdata["hits"]}}
+                    for c, cdata in crosses.items()},
+    }
+    return data
+
+
+def sample_db(rng, names=("alpha", "beta/gamma")):
+    db = CoverageDB()
+    for _ in range(rng.randint(0, 4)):
+        db.add(sample_group(rng, rng.choice(names)))
+    return db
+
+
+def merged(*dbs):
+    out = CoverageDB()
+    for db in dbs:
+        out.merge(db)
+    return out
+
+
+# -- monoid laws -----------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_merge_is_commutative(seed):
+    rng = random.Random(seed)
+    a, b = sample_db(rng), sample_db(rng)
+    assert merged(a, b).to_json() == merged(b, a).to_json(), \
+        f"generator seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_merge_is_associative(seed):
+    rng = random.Random(seed)
+    a, b, c = sample_db(rng), sample_db(rng), sample_db(rng)
+    left = merged(merged(a, b), c)
+    right = merged(a, merged(b, c))
+    assert left.to_json() == right.to_json(), f"generator seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_empty_db_is_the_identity(seed):
+    rng = random.Random(seed)
+    a = sample_db(rng)
+    assert merged(CoverageDB(), a).to_json() == a.to_json()
+    assert merged(a, CoverageDB()).to_json() == a.to_json()
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_remerge_is_idempotent_at_closure_level(seed):
+    """Merging a database into itself doubles counts but must leave the
+    closure picture — percent, hit-goal set, unhit list — untouched.
+    This is what makes warm-state re-search safe to replay."""
+    rng = random.Random(seed)
+    db = sample_db(rng)
+    before = (db.percent(), db.unhit(),
+              {n: db._hit_goals(n) for n in db.groups})
+    db.merge(copy.deepcopy(db))
+    after = (db.percent(), db.unhit(),
+             {n: db._hit_goals(n) for n in db.groups})
+    assert before == after, f"generator seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_json_round_trip_is_identity(seed):
+    rng = random.Random(seed)
+    db = sample_db(rng)
+    restored = CoverageDB.from_json(db.to_json())
+    assert restored.to_json() == db.to_json(), f"generator seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_merge_adds_hit_counts_exactly(seed):
+    """Per-bin hits of a merge equal the integer sum of the operands'."""
+    rng = random.Random(seed)
+    a, b = sample_db(rng), sample_db(rng)
+    both = merged(a, b)
+    for name, data in both.groups.items():
+        for pname, bins in data.get("points", {}).items():
+            for bname, hits in bins.items():
+                expect = sum(db.groups.get(name, {})
+                             .get("points", {}).get(pname, {})
+                             .get(bname, 0) for db in (a, b))
+                assert hits == expect, (seed, name, pname, bname)
+
+
+# -- the search-facing delta API -------------------------------------------
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_add_delta_partitions_the_hit_set(seed):
+    """Sequential ``add_delta`` calls report every hit goal exactly once:
+    their union is the final hit set, their pairwise intersections are
+    empty.  This is the marginal-closure reward signal — a goal must
+    never pay out twice."""
+    rng = random.Random(seed)
+    name = "alpha"
+    sessions = [sample_group(rng, name) for _ in range(5)]
+    db = CoverageDB()
+    deltas = [db.add_delta(session) for session in sessions]
+    flat = [goal for delta in deltas for goal in delta]
+    assert len(flat) == len(set(flat)), f"goal rewarded twice (seed {seed})"
+    assert set(flat) == db._hit_goals(name), f"generator seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_add_delta_of_already_merged_group_is_empty(seed):
+    rng = random.Random(seed)
+    session = sample_group(rng, "alpha")
+    db = CoverageDB()
+    db.add(session)
+    assert db.add_delta(copy.deepcopy(session)) == []
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_open_goals_complements_hit_goals(seed):
+    rng = random.Random(seed)
+    db = sample_db(rng)
+    for name in db.groups:
+        open_ = set(db.open_goals(name))
+        hit = db._hit_goals(name)
+        assert not open_ & hit, f"generator seed {seed}"
+        total = db.percent(name)
+        if not open_:
+            assert total == pytest.approx(100.0)
+        if not hit:
+            assert total == pytest.approx(0.0)
+    # Concatenated per-group views equal the global unhit list.
+    all_open = sorted(g for name in db.groups for g in db.open_goals(name))
+    assert all_open == sorted(db.unhit())
+
+
+def test_open_goals_of_unknown_group_is_empty_not_error():
+    db = CoverageDB()
+    assert db.open_goals("never/sampled") == []
+    assert db.add_delta({"name": "fresh", "samples": 1,
+                         "points": {"p": {"b": 1}},
+                         "crosses": {}}) == ["fresh.p.b"]
+
+
+def test_add_delta_reports_cross_goals_with_dotted_spelling():
+    db = CoverageDB()
+    closed = db.add_delta({
+        "name": "g", "samples": 1,
+        "points": {"op": {"push": 1, "pop": 0}},
+        "crosses": {"opx": {"points": ["op", "occ"],
+                            "hits": {"push|empty": 1, "pop|full": 0}}}})
+    assert closed == ["g.op.push", "g.opx.pushxempty"]
+    assert db.open_goals("g") == ["g.op.pop", "g.opx.popxfull"]

@@ -7,6 +7,8 @@ least one violation — and with the switch off, the same session must be
 clean.  This is the verification subsystem verifying itself.
 """
 
+import functools
+
 import pytest
 
 from repro.verify import mutate, verify
@@ -70,6 +72,70 @@ def test_stale_lane_commit_freezes_exactly_the_last_lane():
         results = verify_matrix("queue/fifo", BATCHED_SMOKE_SEEDS,
                                 cycles=800)
     assert [result.ok for result in results] == [True, True, True, False]
+
+
+#: Mutation escape: the exact monitor rules each fault trips when driven
+#: by *search-proposed* seeds — the per-fault blast radius.  The sets are
+#: deterministic (propose_seeds and the sessions share one root seed), so
+#: an escape (fault undetected) or a radius change (fault detected by
+#: different monitors) both fail loudly.
+SEARCH_BLAST_RADIUS = {
+    "fifo.drop_full_guard": {
+        "queue/fifo.conservation", "queue/fifo.data-mismatch",
+        "queue/fifo.data-stability", "queue/fifo.occupancy-bound",
+        "queue/fifo.phantom-valid", "queue/fifo.scoreboard",
+        "queue/fifo.valid-drop"},
+    "fifo.pop_empty_guard": {
+        "queue/fifo.conservation", "queue/fifo.data-mismatch",
+        "queue/fifo.occupancy-bound", "queue/fifo.phantom-valid",
+        "queue/fifo.scoreboard"},
+    "fifo.stale_dout": {
+        "queue/fifo.data-mismatch", "queue/fifo.scoreboard"},
+    "lifo.reverse_order": {
+        "stack/lifo.data-mismatch", "stack/lifo.scoreboard"},
+    "queue.ready_when_full": {
+        "queue/fifo.conservation", "queue/fifo.data-mismatch",
+        "queue/fifo.scoreboard"},
+    "batched.cross_lane_mask_reuse": {
+        "queue/fifo.data-mismatch", "queue/fifo.data-stability",
+        "queue/fifo.scoreboard"},
+    "batched.stale_lane_commit": {
+        "queue/fifo.conservation", "queue/fifo.scoreboard"},
+}
+
+
+@functools.lru_cache(maxsize=None)
+def search_proposed_seeds(target, cycles, count):
+    """Seeds a fault-free coverage search spends its budget on (cached:
+    one healthy search per (target, cycles, budget) for the module)."""
+    from repro.search import propose_seeds
+
+    return tuple(propose_seeds(target, count, cycles=cycles))
+
+
+@pytest.mark.parametrize("name", sorted(SEARCH_BLAST_RADIUS))
+def test_search_proposed_seeds_catch_every_seeded_fault(name):
+    """No mutation escapes the search's seed budget.
+
+    The coverage-directed search proposes its seeds against the *healthy*
+    design — faults must not get to vote.  Within the same session budget
+    the fixed matrix spends (one scalar session, or the 4-lane batched
+    matrix), those proposed seeds must still catch every seeded fault,
+    and trip exactly the pinned monitor rules."""
+    target, cycles = MUTATION_TARGETS[name]
+    count = len(BATCHED_SMOKE_SEEDS) if name in BATCHED_MUTATIONS else 1
+    seeds = list(search_proposed_seeds(target, cycles, count))
+    assert len(seeds) == count
+    with mutate.inject(name):
+        results = verify_matrix(target, seeds, cycles=cycles)
+    assert any(not result.ok for result in results), \
+        f"mutation {name} escaped search-proposed seeds {seeds}"
+    rules = {violation.rule for result in results
+             for violation in result.violations}
+    assert rules == SEARCH_BLAST_RADIUS[name]
+    # And the same sessions are clean once the switch drops.
+    clean = verify_matrix(target, seeds, cycles=cycles)
+    assert all(result.ok for result in clean)
 
 
 def test_mutation_registry_rejects_unknown_names():
